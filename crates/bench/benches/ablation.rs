@@ -1,0 +1,33 @@
+//! Regenerates the extension artifacts (beta/K sweep, coupling ablation,
+//! OLIA comparison) at bench scale, then measures one sweep point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmp_bench::criterion_config;
+use xmp_des::SimDuration;
+use xmp_experiments::ablation::{self, AblationConfig};
+use xmp_experiments::suite::{Pattern, SuiteConfig};
+use xmp_workloads::Scheme;
+
+fn tiny() -> AblationConfig {
+    AblationConfig {
+        betas: vec![2, 4],
+        ks: vec![5, 20],
+        window: SimDuration::from_millis(200),
+        seed: 1,
+        suite: SuiteConfig {
+            target_flows: 12,
+            ..SuiteConfig::quick(Scheme::xmp(2), Pattern::Permutation)
+        },
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = tiny();
+    eprintln!("{}", ablation::run(&cfg));
+    c.bench_function("ablation_beta_k_sweep", |b| {
+        b.iter(|| std::hint::black_box(ablation::run(&cfg)))
+    });
+}
+
+criterion_group! { name = benches; config = criterion_config(); targets = bench }
+criterion_main!(benches);

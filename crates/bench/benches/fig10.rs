@@ -1,0 +1,29 @@
+//! Regenerates paper Fig. 10 (RTT distributions by locality) at bench
+//! scale, then measures one suite run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmp_bench::criterion_config;
+use xmp_experiments::suite::{render_fig10, run_suite, Pattern, SuiteConfig};
+use xmp_workloads::Scheme;
+
+fn tiny(scheme: Scheme) -> SuiteConfig {
+    SuiteConfig {
+        target_flows: 16,
+        ..SuiteConfig::quick(scheme, Pattern::Random)
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let results: Vec<_> = [Scheme::Dctcp, Scheme::lia(2), Scheme::xmp(2)]
+        .iter()
+        .map(|&s| run_suite(&tiny(s)))
+        .collect();
+    eprintln!("{}", render_fig10(&results, Pattern::Random));
+    let cfg = tiny(Scheme::xmp(2));
+    c.bench_function("fig10_rtt_distribution_run", |b| {
+        b.iter(|| std::hint::black_box(run_suite(&cfg)))
+    });
+}
+
+criterion_group! { name = benches; config = criterion_config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates paper Fig. 4 (traffic shifting on the Fig. 3a testbed) at
+//! bench scale and measures the simulation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmp_bench::criterion_config;
+use xmp_des::SimDuration;
+use xmp_experiments::fig4;
+
+fn tiny() -> fig4::Fig4Config {
+    fig4::Fig4Config {
+        unit: SimDuration::from_millis(150),
+        bin: SimDuration::from_millis(25),
+        betas: vec![4, 6],
+        seed: 1,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = tiny();
+    eprintln!("{}", fig4::run(&cfg));
+    c.bench_function("fig4_shift_beta4_beta6", |b| {
+        b.iter(|| std::hint::black_box(fig4::run(&cfg)))
+    });
+}
+
+criterion_group! { name = benches; config = criterion_config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates paper Fig. 6 (fairness with 3/2/1/1 subflows) at bench
+//! scale and measures the simulation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmp_bench::criterion_config;
+use xmp_des::SimDuration;
+use xmp_experiments::fig6;
+
+fn tiny() -> fig6::Fig6Config {
+    fig6::Fig6Config {
+        unit: SimDuration::from_millis(150),
+        bin: SimDuration::from_millis(25),
+        betas: vec![4, 6],
+        seed: 1,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = tiny();
+    eprintln!("{}", fig6::run(&cfg));
+    c.bench_function("fig6_fairness_beta4_beta6", |b| {
+        b.iter(|| std::hint::black_box(fig6::run(&cfg)))
+    });
+}
+
+criterion_group! { name = benches; config = criterion_config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates paper Fig. 7 (torus rate compensation) at bench scale and
+//! measures the simulation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmp_bench::criterion_config;
+use xmp_des::SimDuration;
+use xmp_experiments::fig7;
+
+fn tiny() -> fig7::Fig7Config {
+    fig7::Fig7Config {
+        unit: SimDuration::from_millis(100),
+        variants: vec![(4, 20)],
+        seed: 1,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = tiny();
+    eprintln!("{}", fig7::run(&cfg));
+    c.bench_function("fig7_torus_beta4", |b| {
+        b.iter(|| std::hint::black_box(fig7::run(&cfg)))
+    });
+}
+
+criterion_group! { name = benches; config = criterion_config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates paper Table 1 (average goodput: DCTCP / LIA-n / XMP-n x
+//! Permutation / Random / Incast) at bench scale, then measures one
+//! representative suite run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmp_bench::criterion_config;
+use xmp_experiments::suite::{render_table1, run_suite, Pattern, SuiteConfig};
+use xmp_workloads::Scheme;
+
+fn tiny(scheme: Scheme, pattern: Pattern) -> SuiteConfig {
+    SuiteConfig {
+        target_flows: 16,
+        ..SuiteConfig::quick(scheme, pattern)
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let schemes = [Scheme::Dctcp, Scheme::lia(2), Scheme::xmp(2)];
+    let patterns = [Pattern::Permutation, Pattern::Random];
+    let results: Vec<_> = patterns
+        .iter()
+        .flat_map(|&p| schemes.iter().map(move |&s| run_suite(&tiny(s, p))))
+        .collect();
+    eprintln!("{}", render_table1(&results));
+    let cfg = tiny(Scheme::xmp(2), Pattern::Permutation);
+    c.bench_function("table1_suite_run_xmp2_permutation", |b| {
+        b.iter(|| std::hint::black_box(run_suite(&cfg)))
+    });
+}
+
+criterion_group! { name = benches; config = criterion_config(); targets = bench }
+criterion_main!(benches);

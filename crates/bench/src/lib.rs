@@ -1,0 +1,20 @@
+//! # xmp-bench — Criterion benches regenerating the paper's artifacts
+//!
+//! One bench target per table/figure. Each target first renders the
+//! artifact once (printed to stderr so `cargo bench` output contains the
+//! regenerated rows), then measures the run under Criterion using
+//! deliberately small "bench-scale" configurations so the whole suite
+//! stays in the minutes range. The `xmp-experiments` binary is the place
+//! for full-scale runs.
+
+use std::time::Duration;
+
+/// Criterion settings shared by all benches: tiny sample counts because a
+/// single iteration is a whole simulation.
+pub fn criterion_config() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3))
+        .configure_from_args()
+}

@@ -1,0 +1,169 @@
+//! The fluid model behind XMP (paper Section 2, Eqs. 2–9).
+//!
+//! BOS window evolution in congestion avoidance (Eq. 2):
+//!
+//! ```text
+//! dw/dt = δ/T·(1 − p(t)) − w/(Tβ)·p(t)
+//! ```
+//!
+//! where `p(t)` is the probability that at least one packet is marked in a
+//! round (the paper argues packets arrive in batches, so the per-round mark
+//! probability — not a per-packet one — is the right congestion metric in
+//! DCNs). Setting `dw/dt = 0` yields the equilibrium (Eq. 3), whose inverse
+//! characterizes the utility function (Eq. 4); "multi-path-lizing" it gives
+//! XMP's aggregate utility (Eq. 6) with derivative (Eq. 7), the per-subflow
+//! equilibrium (Eq. 8), and the TraSh fixed point (Eq. 9).
+
+/// Equilibrium per-round marking probability of BOS (Eq. 3):
+/// `p̃ = 1 / (1 + w̃/(δβ))`.
+pub fn equilibrium_mark_prob(w: f64, delta: f64, beta: f64) -> f64 {
+    assert!(w >= 0.0 && delta > 0.0 && beta >= 2.0);
+    1.0 / (1.0 + w / (delta * beta))
+}
+
+/// Equilibrium window for a given marking probability (Eq. 3 inverted):
+/// `w̃ = δβ(1 − p)/p`.
+pub fn equilibrium_window(p: f64, delta: f64, beta: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p) && p > 0.0);
+    delta * beta * (1.0 - p) / p
+}
+
+/// BOS utility function (Eq. 4):
+/// `U(x) = (δβ/T)·log(1 + Tx/(δβ))`, `x` in packets/second.
+pub fn bos_utility(x: f64, delta: f64, beta: f64, t: f64) -> f64 {
+    assert!(x >= 0.0 && t > 0.0);
+    (delta * beta / t) * (1.0 + t * x / (delta * beta)).ln()
+}
+
+/// XMP aggregate utility (Eq. 6): `U(y) = (β/T_s)·log(1 + T_s·y/β)` with
+/// `T_s = min_r T_{s,r}`.
+pub fn xmp_utility(y: f64, beta: f64, t_s: f64) -> f64 {
+    bos_utility(y, 1.0, beta, t_s)
+}
+
+/// Derivative of the XMP utility (Eq. 7): `U′(y) = 1/(1 + y·T_s/β)` — the
+/// "expected congestion extent" of the flow's virtual single path.
+pub fn xmp_utility_prime(y: f64, beta: f64, t_s: f64) -> f64 {
+    assert!(y >= 0.0 && t_s > 0.0 && beta >= 2.0);
+    1.0 / (1.0 + y * t_s / beta)
+}
+
+/// Per-subflow equilibrium marking probability (Eq. 8):
+/// `p̃_{s,r} = 1/(1 + x_{s,r}·T_{s,r}/(δ_{s,r}β))`.
+pub fn subflow_equilibrium_mark_prob(x: f64, t: f64, delta: f64, beta: f64) -> f64 {
+    equilibrium_mark_prob(x * t, delta, beta)
+}
+
+/// The TraSh fixed point (Eq. 9): `δ_{s,r} = (T_{s,r}·x_{s,r}) / (T_s·y_s)`.
+pub fn trash_fixed_point(t_r: f64, x_r: f64, t_s: f64, y_s: f64) -> f64 {
+    assert!(t_s > 0.0 && y_s > 0.0);
+    (t_r * x_r) / (t_s * y_s)
+}
+
+/// Converged BOS rate for a given δ and steady marking probability
+/// (Algorithm step 2): `x = βδ(1 − p)/(T·p)`.
+pub fn bos_converged_rate(delta: f64, beta: f64, t: f64, p: f64) -> f64 {
+    equilibrium_window(p, delta, beta) / t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eq3_and_its_inverse_agree() {
+        for &(w, d, b) in &[(10.0, 1.0, 4.0), (33.0, 0.5, 2.0), (100.0, 2.0, 6.0)] {
+            let p = equilibrium_mark_prob(w, d, b);
+            let w2 = equilibrium_window(p, d, b);
+            assert!((w - w2).abs() < 1e-9, "w={w} w2={w2}");
+        }
+    }
+
+    #[test]
+    fn utility_is_increasing_and_concave() {
+        let (d, b, t) = (1.0, 4.0, 250e-6);
+        let xs: Vec<f64> = (1..100).map(|i| i as f64 * 1000.0).collect();
+        for win in xs.windows(3) {
+            let (u0, u1, u2) = (
+                bos_utility(win[0], d, b, t),
+                bos_utility(win[1], d, b, t),
+                bos_utility(win[2], d, b, t),
+            );
+            assert!(u1 > u0, "increasing");
+            assert!(u2 - u1 < u1 - u0, "strictly concave");
+        }
+    }
+
+    #[test]
+    fn utility_prime_matches_numeric_derivative() {
+        let (b, t) = (4.0, 250e-6);
+        for y in [1e3, 1e4, 1e5] {
+            let h = y * 1e-6;
+            let numeric = (xmp_utility(y + h, b, t) - xmp_utility(y - h, b, t)) / (2.0 * h);
+            let closed = xmp_utility_prime(y, b, t);
+            assert!(
+                ((numeric - closed) / closed).abs() < 1e-4,
+                "y={y}: {numeric} vs {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn congestion_equality_at_the_fixed_point() {
+        // At delta from Eq. 9, the subflow equilibrium (Eq. 8) equals the
+        // aggregate congestion (Eq. 7) — the derivation (7)=(8) in the
+        // paper.
+        let (beta, t_r, t_s) = (4.0, 400e-6, 250e-6);
+        let (x_r, y_s) = (30_000.0, 100_000.0);
+        let delta = trash_fixed_point(t_r, x_r, t_s, y_s);
+        let p_r = subflow_equilibrium_mark_prob(x_r, t_r, delta, beta);
+        let up = xmp_utility_prime(y_s, beta, t_s);
+        assert!((p_r - up).abs() < 1e-12, "p={p_r} U'={up}");
+    }
+
+    #[test]
+    fn rate_convergence_formula() {
+        // x = beta*delta*(1-p)/(T*p): cross-check via Eq. 3.
+        let (delta, beta, t, p) = (0.5, 4.0, 300e-6, 0.1);
+        let x = bos_converged_rate(delta, beta, t, p);
+        let w = x * t;
+        assert!((equilibrium_mark_prob(w, delta, beta) - p).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Proposition 1 on the closed forms: p_r < U'(y) implies the Eq. 9
+        /// update raises delta (for any positive rates/RTTs).
+        #[test]
+        fn prop_proposition_1_closed_form(
+            t_r in 1e-4f64..1e-2,
+            t_s_frac in 0.1f64..1.0,
+            x_r in 1e2f64..1e6,
+            y_extra in 0.0f64..1e6,
+            delta in 0.01f64..8.0,
+            beta in 2.0f64..8.0,
+        ) {
+            let t_s = t_r * t_s_frac; // T_s = min rtt <= T_r
+            let y = x_r + y_extra;
+            let p_r = subflow_equilibrium_mark_prob(x_r, t_r, delta, beta);
+            let u = xmp_utility_prime(y, beta, t_s);
+            let new_delta = trash_fixed_point(t_r, x_r, t_s, y);
+            if p_r < u {
+                prop_assert!(new_delta > delta,
+                    "p={p_r} < U'={u} but {delta} -> {new_delta}");
+            }
+            if p_r > u {
+                prop_assert!(new_delta < delta);
+            }
+        }
+
+        /// Mark probability is within (0, 1] and decreasing in the window.
+        #[test]
+        fn prop_mark_prob_monotone(w in 0.0f64..1e4, d in 0.01f64..8.0, b in 2.0f64..8.0) {
+            let p = equilibrium_mark_prob(w, d, b);
+            prop_assert!(p > 0.0 && p <= 1.0);
+            let p2 = equilibrium_mark_prob(w + 1.0, d, b);
+            prop_assert!(p2 < p);
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! BOS — the Buffer Occupancy Suppression algorithm (paper Section 2.1 and
+//! Algorithm 1, with the round bookkeeping of Fig. 2).
+//!
+//! BOS is the per-subflow window control XMP runs on every path:
+//!
+//! 1. switches CE-mark arriving packets when the instantaneous queue length
+//!    reaches `K` (implemented in `xmp_netsim::queue::EcnThreshold`),
+//! 2. the receiver echoes the exact number of CEs (≤3 per ACK, the 2-bit
+//!    ECE+CWR encoding — `xmp_transport::receiver` in `CeCount` mode),
+//! 3. the sender, per **round** (the interval until a recorded sequence
+//!    number `beg_seq` is acknowledged, ≈ one RTT):
+//!    * grows `cwnd` by `δ` if the round saw no marks (using the fractional
+//!      `adder` accumulator, since windows move in whole packets),
+//!    * on the first marked ACK, cuts `cwnd` by `1/β` — **at most once per
+//!      round**, enforced by the `NORMAL → REDUCED` transition and
+//!      `cwr_seq`,
+//!    * slow start (`cwnd ≤ ssthresh`): +1 per clean ACK; the first mark
+//!      ends slow start via `ssthresh = cwnd − 1`.
+//!
+//! [`RoundState`] is the reusable per-subflow implementation; [`Bos`] is
+//! the standalone single-path controller (used by the paper's Fig. 1
+//! "halving cwnd" flows with β = 2, and as the XMP building block).
+
+use xmp_transport::cc::{AckInfo, CongestionControl, SubflowCc, MIN_CWND};
+use xmp_transport::segment::EchoMode;
+
+/// The ECN reaction state of a subflow (paper Fig. 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EcnState {
+    /// May react to the next CE echo.
+    #[default]
+    Normal,
+    /// Already reduced this round; CE echoes are ignored until the
+    /// reduction's `cwr_seq` is acknowledged.
+    Reduced,
+}
+
+/// Per-subflow round/reduction bookkeeping (Fig. 2 / Algorithm 1).
+#[derive(Clone, Debug)]
+pub struct RoundState {
+    /// Acknowledging past this sequence number ends the current round.
+    pub beg_seq: u64,
+    /// Acknowledging up to here re-enables reductions.
+    pub cwr_seq: u64,
+    /// NORMAL / REDUCED.
+    pub state: EcnState,
+    /// Fractional window-increase accumulator (`adder` in Algorithm 1).
+    pub adder: f64,
+    /// Additive-increase gain δ; 1 for standalone BOS, retuned per round by
+    /// TraSh under XMP.
+    pub delta: f64,
+    /// Number of rounds that triggered a reduction (the observable form of
+    /// the paper's congestion metric p(t): reductions / rounds ≈ p̃).
+    pub reductions: u64,
+    /// Number of completed rounds.
+    pub rounds: u64,
+}
+
+impl Default for RoundState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoundState {
+    /// Fresh state with δ = 1 (TraSh initialization, paper step 1).
+    pub fn new() -> Self {
+        RoundState {
+            beg_seq: 0,
+            cwr_seq: 0,
+            state: EcnState::Normal,
+            adder: 0.0,
+            delta: 1.0,
+            reductions: 0,
+            rounds: 0,
+        }
+    }
+
+    /// Per-ACK state recovery: `REDUCED → NORMAL` once the window that was
+    /// cut has been fully acknowledged (`snd_una ≥ cwr_seq`).
+    pub fn maybe_recover(&mut self, ack_seq: u64) {
+        if self.state != EcnState::Normal && ack_seq >= self.cwr_seq {
+            self.state = EcnState::Normal;
+        }
+    }
+
+    /// Handle an ACK carrying CE echoes ("At receiving ECE or CWR" in
+    /// Algorithm 1). Cuts at most once per round. `beta ≥ 2`.
+    pub fn on_ce(&mut self, sub: &mut SubflowCc, beta: f64) {
+        debug_assert!(beta >= 2.0);
+        if self.state != EcnState::Normal {
+            return;
+        }
+        self.state = EcnState::Reduced;
+        self.cwr_seq = sub.snd_nxt;
+        self.reductions += 1;
+        if sub.cwnd > sub.ssthresh {
+            // Congestion avoidance: multiplicative decrease by 1/beta.
+            let cut = (sub.cwnd / beta).max(1.0);
+            sub.cwnd = (sub.cwnd - cut).max(MIN_CWND);
+        }
+        // Avoid re-entering slow start (and end it on the first mark).
+        sub.ssthresh = (sub.cwnd - 1.0).max(1.0);
+    }
+
+    /// Whether `ack_seq` ends the current round; if so, records the next
+    /// round boundary at `snd_nxt`.
+    pub fn round_ended(&mut self, ack_seq: u64, snd_nxt: u64) -> bool {
+        if ack_seq > self.beg_seq {
+            self.beg_seq = snd_nxt;
+            self.rounds += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Observed per-round reduction probability — the empirical form of
+    /// the paper's congestion metric `p(t)` (Eq. 2/3). Clamped to 1: the
+    /// CWR window and the `beg_seq` round are slightly different clocks,
+    /// so degenerate ACK streams can count one more reduction than rounds.
+    pub fn observed_p(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            (self.reductions as f64 / self.rounds as f64).min(1.0)
+        }
+    }
+
+    /// End-of-round additive increase (congestion avoidance, NORMAL state):
+    /// `adder += δ; cwnd += ⌊adder⌋; adder -= ⌊adder⌋`.
+    pub fn apply_increase(&mut self, sub: &mut SubflowCc) {
+        if self.state == EcnState::Normal && !sub.in_slow_start() {
+            self.adder += self.delta;
+            let whole = self.adder.floor();
+            sub.cwnd += whole;
+            self.adder -= whole;
+        }
+    }
+
+    /// Per-ACK slow-start growth (+1 per clean new ACK in NORMAL state).
+    pub fn slow_start_tick(&mut self, sub: &mut SubflowCc) {
+        if self.state == EcnState::Normal && sub.in_slow_start() {
+            sub.cwnd += 1.0;
+        }
+    }
+
+    /// Reset transient state after an RTO (the machinery re-enters slow
+    /// start; a stale `cwr_seq` must not suppress future reductions).
+    pub fn on_rto(&mut self, snd_una: u64) {
+        self.state = EcnState::Normal;
+        self.adder = 0.0;
+        self.beg_seq = snd_una;
+        self.cwr_seq = snd_una;
+    }
+}
+
+/// Standalone single-path BOS controller with window-reduction factor
+/// `1/β`. The paper's Fig. 1(c)/(d) "halving cwnd" flows are `Bos::new(2)`.
+#[derive(Debug)]
+pub struct Bos {
+    beta: f64,
+    round: RoundState,
+}
+
+impl Bos {
+    /// BOS with reduction factor `1/beta` (`beta ≥ 2`, Eq. 1).
+    pub fn new(beta: u32) -> Self {
+        assert!(beta >= 2, "Eq. (1) requires beta >= 2");
+        Bos {
+            beta: f64::from(beta),
+            round: RoundState::new(),
+        }
+    }
+
+    /// The configured β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Inspect the round state (tests / tracing).
+    pub fn round(&self) -> &RoundState {
+        &self.round
+    }
+}
+
+impl CongestionControl for Bos {
+    fn init(&mut self, n: usize) {
+        assert_eq!(n, 1, "standalone BOS is single-path; use Xmp for MPTCP");
+    }
+
+    fn on_subflow_added(&mut self) {
+        panic!("standalone BOS is single-path; use Xmp for MPTCP");
+    }
+
+    fn echo_mode(&self) -> EchoMode {
+        EchoMode::CeCount
+    }
+
+    fn on_ack(&mut self, r: usize, info: &AckInfo, view: &mut [SubflowCc]) {
+        debug_assert_eq!(r, 0);
+        let sub = &mut view[0];
+        self.round.maybe_recover(info.ack_seq);
+        if info.ce_count > 0 {
+            self.round.on_ce(sub, self.beta);
+        }
+        if self.round.round_ended(info.ack_seq, sub.snd_nxt) {
+            // delta stays 1 for a single path (Eq. 9 degenerates to 1).
+            self.round.apply_increase(sub);
+        }
+        if info.newly_acked > 0 && info.ce_count == 0 {
+            self.round.slow_start_tick(sub);
+        }
+    }
+
+    fn ssthresh_on_loss(&mut self, _r: usize, view: &[SubflowCc]) -> f64 {
+        (view[0].cwnd / 2.0).max(MIN_CWND)
+    }
+
+    fn on_rto(&mut self, _r: usize, view: &mut [SubflowCc]) {
+        self.round.on_rto(view[0].snd_una);
+    }
+
+    fn name(&self) -> &'static str {
+        "BOS"
+    }
+
+    fn observed_round_p(&self, _r: usize) -> Option<f64> {
+        Some(self.round.observed_p())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmp_des::SimTime;
+
+    fn info(ack_seq: u64, newly: u64, ce: u8) -> AckInfo {
+        AckInfo {
+            ack_seq,
+            newly_acked: newly,
+            ce_count: ce,
+            covered: 1,
+            rtt_sample: None,
+            now: SimTime::ZERO,
+            mss: 1460,
+        }
+    }
+
+    fn ca_sub(cwnd: f64, snd_nxt: u64) -> SubflowCc {
+        let mut s = SubflowCc::new(cwnd);
+        s.ssthresh = 1.0;
+        s.snd_nxt = snd_nxt;
+        s
+    }
+
+    #[test]
+    fn reduction_is_cwnd_over_beta() {
+        let mut b = Bos::new(4);
+        let mut v = vec![ca_sub(20.0, 30_000)];
+        b.on_ack(0, &info(1460, 1460, 1), &mut v);
+        // 20 - max(20/4, 1) = 15
+        assert!((v[0].cwnd - 15.0).abs() < 1e-9);
+        assert_eq!(b.round().state, EcnState::Reduced);
+        assert!((v[0].ssthresh - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn at_most_one_reduction_per_round() {
+        let mut b = Bos::new(4);
+        let mut v = vec![ca_sub(20.0, 30_000)];
+        b.on_ack(0, &info(1460, 1460, 1), &mut v);
+        let after_first = v[0].cwnd;
+        // More CEs inside the same round are ignored.
+        b.on_ack(0, &info(2920, 1460, 2), &mut v);
+        b.on_ack(0, &info(4380, 1460, 1), &mut v);
+        assert!((v[0].cwnd - after_first).abs() < 1e-9);
+        // Once snd_una passes cwr_seq (30_000), the next CE cuts again.
+        v[0].snd_nxt = 60_000;
+        b.on_ack(0, &info(30_000, 1460, 1), &mut v);
+        assert!(v[0].cwnd < after_first);
+    }
+
+    #[test]
+    fn clean_round_grows_by_delta_one() {
+        let mut b = Bos::new(4);
+        let mut v = vec![ca_sub(10.0, 14_600)];
+        // First ack past beg_seq=0 ends round 1: +1.
+        b.on_ack(0, &info(1460, 1460, 0), &mut v);
+        assert!((v[0].cwnd - 11.0).abs() < 1e-9);
+        // Acks within the round do nothing.
+        b.on_ack(0, &info(2920, 1460, 0), &mut v);
+        assert!((v[0].cwnd - 11.0).abs() < 1e-9);
+        // Crossing the recorded boundary (14_600) ends round 2.
+        v[0].snd_nxt = 29_200;
+        b.on_ack(0, &info(14_600 + 1, 1, 0), &mut v);
+        assert!((v[0].cwnd - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_delta_accumulates() {
+        let mut r = RoundState::new();
+        r.delta = 0.4;
+        let mut s = ca_sub(10.0, 0);
+        r.apply_increase(&mut s); // adder 0.4
+        assert!((s.cwnd - 10.0).abs() < 1e-9);
+        r.apply_increase(&mut s); // adder 0.8
+        assert!((s.cwnd - 10.0).abs() < 1e-9);
+        r.apply_increase(&mut s); // adder 1.2 -> +1, adder 0.2
+        assert!((s.cwnd - 11.0).abs() < 1e-9);
+        assert!((r.adder - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_start_grows_per_ack_and_first_mark_exits() {
+        let mut b = Bos::new(4);
+        let mut v = vec![SubflowCc::new(10.0)]; // ssthresh = inf
+        v[0].snd_nxt = 14_600;
+        b.on_ack(0, &info(1460, 1460, 0), &mut v);
+        // +1 slow start; round-end increase skipped in slow start.
+        assert!((v[0].cwnd - 11.0).abs() < 1e-9);
+        // First mark: no multiplicative cut in slow start, but ssthresh
+        // drops to cwnd-1 which moves the flow to congestion avoidance.
+        b.on_ack(0, &info(2920, 1460, 1), &mut v);
+        assert!((v[0].cwnd - 11.0).abs() < 1e-9);
+        assert!(!v[0].in_slow_start());
+    }
+
+    #[test]
+    fn cwnd_floor_is_two() {
+        let mut b = Bos::new(2);
+        let mut v = vec![ca_sub(2.0, 3000)];
+        b.on_ack(0, &info(1460, 1460, 3), &mut v);
+        assert!(v[0].cwnd >= 2.0);
+    }
+
+    #[test]
+    fn rto_resets_round_state() {
+        let mut b = Bos::new(4);
+        let mut v = vec![ca_sub(20.0, 30_000)];
+        b.on_ack(0, &info(1460, 1460, 1), &mut v);
+        assert_eq!(b.round().state, EcnState::Reduced);
+        v[0].snd_una = 1460;
+        b.on_rto(0, &mut v);
+        assert_eq!(b.round().state, EcnState::Normal);
+        assert_eq!(b.round().beg_seq, 1460);
+    }
+
+    #[test]
+    fn uses_ce_count_echo_mode() {
+        assert_eq!(Bos::new(4).echo_mode(), EchoMode::CeCount);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta >= 2")]
+    fn beta_lower_bound_enforced() {
+        Bos::new(1);
+    }
+}

@@ -1,0 +1,165 @@
+//! TraSh — the Traffic Shifting algorithm (paper Section 2.2).
+//!
+//! TraSh couples the subflows of an MPTCP flow by retuning each subflow's
+//! additive-increase gain δ once per round:
+//!
+//! ```text
+//!            T_{s,r} · x_{s,r}      cwnd_r / srtt_r · srtt_r         (Eq. 9)
+//! δ_{s,r} = ─────────────────── = ────────────────────────────
+//!               T_s · y_s           min_rtt · Σ_j cwnd_j/srtt_j
+//! ```
+//!
+//! i.e. `delta[r] = cwnd[r] / (total_rate × min_rtt)` in Algorithm 1, where
+//! `total_rate = Σ_j instant_rate[j]` and `instant_rate[j] =
+//! cwnd[j]/srtt[j]`. Following the Congestion Equality Principle, δ grows on
+//! paths whose marking probability is below the flow-aggregate congestion
+//! `U′(y)` (Proposition 1) and shrinks on more-congested ones, shifting
+//! traffic towards less congested paths.
+
+use xmp_transport::cc::SubflowCc;
+
+/// Compute the per-round δ for subflow `r` from the live subflow states
+/// (Algorithm 1's parameter-adjustment step).
+///
+/// Subflows with no RTT estimate yet contribute nothing to the total rate;
+/// if none has an estimate the function returns 1 (the TraSh
+/// initialization value).
+pub fn delta_for(r: usize, view: &[SubflowCc]) -> f64 {
+    let min_rtt = view
+        .iter()
+        .filter_map(|s| s.srtt)
+        .min()
+        .map(|d| d.as_secs_f64());
+    let Some(min_rtt) = min_rtt else {
+        return 1.0;
+    };
+    let total_rate: f64 = view.iter().filter_map(|s| s.instant_rate()).sum();
+    if total_rate <= 0.0 || min_rtt <= 0.0 {
+        return 1.0;
+    }
+    (view[r].cwnd / (total_rate * min_rtt)).clamp(MIN_DELTA, MAX_DELTA)
+}
+
+/// δ is clamped away from 0 so a starved subflow keeps probing its path
+/// (the paper keeps subflows alive with a 2-packet window floor; a zero
+/// gain would freeze them permanently), and bounded above for stability.
+pub const MIN_DELTA: f64 = 0.01;
+/// Upper clamp on δ.
+pub const MAX_DELTA: f64 = 8.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use xmp_des::SimDuration;
+
+    fn sub(cwnd: f64, rtt_us: u64) -> SubflowCc {
+        let mut s = SubflowCc::new(cwnd);
+        s.ssthresh = 1.0;
+        s.srtt = Some(SimDuration::from_micros(rtt_us));
+        s
+    }
+
+    #[test]
+    fn single_path_delta_is_one() {
+        // Eq. 9 with one subflow: delta = (T·x)/(T·x) = 1 — BOS exactly.
+        let v = vec![sub(17.0, 250)];
+        assert!((delta_for(0, &v) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_paths_split_delta_evenly() {
+        let v = vec![sub(10.0, 200), sub(10.0, 200)];
+        assert!((delta_for(0, &v) - 0.5).abs() < 1e-9);
+        assert!((delta_for(1, &v) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_window_bigger_delta() {
+        let v = vec![sub(15.0, 200), sub(5.0, 200)];
+        let d0 = delta_for(0, &v);
+        let d1 = delta_for(1, &v);
+        assert!(d0 > d1);
+        // Equal RTTs: deltas proportional to windows and summing to 1.
+        assert!((d0 + d1 - 1.0).abs() < 1e-9);
+        assert!((d0 - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rtt_scaling_matches_eq9() {
+        // delta_r = T_r x_r / (T_s y_s): a slower path with the same cwnd
+        // has a smaller rate but the same T_r·x_r product (= cwnd), so its
+        // delta equals the fast path's.
+        let v = vec![sub(10.0, 100), sub(10.0, 400)];
+        let d0 = delta_for(0, &v);
+        let d1 = delta_for(1, &v);
+        assert!((d0 - d1).abs() < 1e-9, "T_r*x_r = cwnd_r for both");
+        // total_rate = 10/1e-4 + 10/4e-4 = 125_000 pkts/s; min_rtt = 1e-4;
+        // delta = 10 / 12.5 = 0.8.
+        assert!((d0 - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_rtt_yet_returns_initialization_value() {
+        let mut s = SubflowCc::new(10.0);
+        s.ssthresh = 1.0;
+        assert!((delta_for(0, &[s]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamped_to_bounds() {
+        // A vanishing subflow next to a huge one.
+        let v = vec![sub(2.0, 100), sub(100_000.0, 100)];
+        assert!(delta_for(0, &v) >= MIN_DELTA);
+        let v = vec![sub(100_000.0, 100), sub(0.1, 100_000)];
+        assert!(delta_for(0, &v) <= MAX_DELTA);
+    }
+
+    proptest! {
+        /// With equal RTTs, deltas are window-proportional and sum to 1 —
+        /// except that near-starved subflows are clamped *up* to
+        /// MIN_DELTA, so the sum lands in [1, 1 + n·MIN_DELTA].
+        #[test]
+        fn prop_equal_rtt_deltas_sum_to_one(
+            w in proptest::collection::vec(2.0f64..100.0, 2..5)
+        ) {
+            let v: Vec<SubflowCc> = w.iter().map(|&c| sub(c, 250)).collect();
+            let sum: f64 = (0..v.len()).map(|r| delta_for(r, &v)).sum();
+            let upper = 1.0 + v.len() as f64 * MIN_DELTA;
+            prop_assert!(
+                (1.0 - 1e-6..=upper + 1e-6).contains(&sum),
+                "sum={sum} upper={upper}"
+            );
+        }
+
+        /// Proposition 1, computational form: if subflow r's equilibrium
+        /// marking probability is below the aggregate congestion U'(y),
+        /// the recomputed delta exceeds the current one.
+        #[test]
+        fn prop_proposition_1(
+            cwnd_a in 2.0f64..60.0,
+            cwnd_b in 2.0f64..60.0,
+            rtt_a in 100u64..2000,
+            rtt_b in 100u64..2000,
+            delta_r in 0.05f64..4.0,
+            beta in 2u32..=6,
+        ) {
+            let beta = f64::from(beta);
+            let v = vec![sub(cwnd_a, rtt_a), sub(cwnd_b, rtt_b)];
+            let t_r = rtt_a as f64 * 1e-6;
+            let t_s = (rtt_a.min(rtt_b)) as f64 * 1e-6;
+            let x_r = cwnd_a / t_r;
+            let y: f64 = v.iter().filter_map(|s| s.instant_rate()).sum();
+            // Eq. 8 and Eq. 7:
+            let p_r = 1.0 / (1.0 + x_r * t_r / (delta_r * beta));
+            let u_prime = 1.0 / (1.0 + y * t_s / beta);
+            let new_delta = delta_for(0, &v);
+            if p_r < u_prime && (MIN_DELTA..MAX_DELTA).contains(&new_delta) {
+                prop_assert!(
+                    new_delta > delta_r,
+                    "p={p_r} < U'={u_prime} but delta {delta_r} -> {new_delta}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Deterministic event priority queue.
+//!
+//! Events are ordered by `(timestamp, sequence number)` where the sequence
+//! number is assigned at insertion. Two events scheduled for the same instant
+//! therefore fire in the order they were scheduled, independent of heap
+//! internals — this is what makes whole-simulation runs bit-reproducible.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event plus its scheduling metadata, as stored in the queue.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotone insertion counter; breaks timestamp ties deterministically.
+    pub seq: u64,
+    /// The user payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, at equal
+        // times, the first-inserted) event is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, event });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop()
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (the insertion counter).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use proptest::prelude::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        assert_eq!(q.pop().unwrap().event, "a");
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert_eq!(q.pop().unwrap().event, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().event, i);
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(t(7), ());
+        q.push(t(3), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(t(3)));
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    proptest! {
+        /// For any multiset of timestamps, pops are globally sorted by
+        /// (time, insertion order).
+        #[test]
+        fn prop_pop_order_is_sorted(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, &us) in times.iter().enumerate() {
+                q.push(t(us), i);
+            }
+            let mut last: Option<(SimTime, u64)> = None;
+            while let Some(ev) = q.pop() {
+                if let Some((lt, ls)) = last {
+                    prop_assert!((lt, ls) < (ev.at, ev.seq));
+                    prop_assert!(lt <= ev.at);
+                }
+                // Ties must preserve insertion order.
+                last = Some((ev.at, ev.seq));
+            }
+        }
+
+        /// Every pushed event is popped exactly once.
+        #[test]
+        fn prop_conservation(times in proptest::collection::vec(0u64..50, 0..100)) {
+            let mut q = EventQueue::new();
+            for (i, &us) in times.iter().enumerate() {
+                q.push(t(us), i);
+            }
+            let mut seen = vec![false; times.len()];
+            while let Some(ev) = q.pop() {
+                prop_assert!(!seen[ev.event]);
+                seen[ev.event] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! `xmp-experiments` — command-line driver regenerating the paper's tables
+//! and figures.
+//!
+//! ```text
+//! xmp-experiments <command> [--quick] [--seed N] [--scale N] [--flows N]
+//!
+//! commands:
+//!   fig1      DCTCP vs constant-cut convergence/fairness
+//!   fig4      traffic shifting on the Fig.3a testbed (beta 4 vs 6)
+//!   fig6      fairness with 3/2/1/1 subflows (beta 4 vs 6)
+//!   fig7      torus rate compensation (beta 4/5/6)
+//!   fattree   the fat-tree suite: Table 1, Figs. 8/9/10/11, Table 3
+//!   table2    XMP coexistence with LIA / TCP / DCTCP
+//!   ablation  beta/K sweep, TraSh-coupling ablation, OLIA comparison
+//!   all       everything above
+//! ```
+
+use std::time::Instant;
+use xmp_experiments::suite::{self, Pattern, SuiteConfig};
+use xmp_experiments::{ablation, fig1, fig4, fig6, fig7, table2};
+use xmp_workloads::Scheme;
+
+#[derive(Debug, Clone)]
+struct Opts {
+    quick: bool,
+    seed: u64,
+    scale: u64,
+    flows: usize,
+    pattern: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        quick: false,
+        seed: 42,
+        scale: 128,
+        flows: 2000,
+        pattern: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => o.quick = true,
+            "--seed" => o.seed = it.next().expect("--seed N").parse().expect("seed"),
+            "--scale" => o.scale = it.next().expect("--scale N").parse().expect("scale"),
+            "--flows" => o.flows = it.next().expect("--flows N").parse().expect("flows"),
+            "--pattern" => o.pattern = Some(it.next().expect("--pattern NAME").to_lowercase()),
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    o
+}
+
+fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let r = f();
+    eprintln!("[{label}] wall time {:.1}s", t0.elapsed().as_secs_f64());
+    r
+}
+
+fn run_fig1(o: &Opts) {
+    let mut cfg = if o.quick {
+        fig1::Fig1Config::quick()
+    } else {
+        fig1::Fig1Config::default()
+    };
+    cfg.seed = o.seed;
+    let r = timed("fig1", || fig1::run(&cfg));
+    println!("{r}");
+}
+
+fn run_fig4(o: &Opts) {
+    let mut cfg = if o.quick {
+        fig4::Fig4Config::quick()
+    } else {
+        fig4::Fig4Config::default()
+    };
+    cfg.seed = o.seed;
+    let r = timed("fig4", || fig4::run(&cfg));
+    println!("{r}");
+}
+
+fn run_fig6(o: &Opts) {
+    let mut cfg = if o.quick {
+        fig6::Fig6Config::quick()
+    } else {
+        fig6::Fig6Config::default()
+    };
+    cfg.seed = o.seed;
+    let r = timed("fig6", || fig6::run(&cfg));
+    println!("{r}");
+}
+
+fn run_fig7(o: &Opts) {
+    let mut cfg = if o.quick {
+        fig7::Fig7Config::quick()
+    } else {
+        fig7::Fig7Config::default()
+    };
+    cfg.seed = o.seed;
+    let r = timed("fig7", || fig7::run(&cfg));
+    println!("{r}");
+}
+
+fn suite_cfg(o: &Opts, scheme: Scheme, pattern: Pattern) -> SuiteConfig {
+    let mut cfg = if o.quick {
+        SuiteConfig::quick(scheme, pattern)
+    } else {
+        SuiteConfig::new(scheme, pattern)
+    };
+    cfg.seed = o.seed;
+    if !o.quick {
+        cfg.scale = o.scale;
+        cfg.target_flows = o.flows;
+    }
+    cfg
+}
+
+fn run_fattree(o: &Opts) {
+    let schemes = [
+        Scheme::Dctcp,
+        Scheme::lia(2),
+        Scheme::lia(4),
+        Scheme::xmp(2),
+        Scheme::xmp(4),
+    ];
+    let all = [Pattern::Permutation, Pattern::Random, Pattern::Incast];
+    let patterns: Vec<Pattern> = all
+        .iter()
+        .copied()
+        .filter(|p| {
+            o.pattern
+                .as_deref()
+                .is_none_or(|want| p.label().to_lowercase().starts_with(want))
+        })
+        .collect();
+    let mut results = Vec::new();
+    for &p in &patterns {
+        for &s in &schemes {
+            let cfg = suite_cfg(o, s, p);
+            let label = format!("{}/{}", s.label(), p.label());
+            let r = timed(&label, || suite::run_suite(&cfg));
+            eprintln!("  -> {r}");
+            results.push(r);
+        }
+    }
+    println!("{}", suite::render_table1(&results));
+    for &p in &patterns {
+        for t in suite::render_fig8(&results, p) {
+            println!("{t}");
+        }
+    }
+    for t in suite::render_jobs(&results) {
+        println!("{t}");
+    }
+    for &p in &patterns {
+        println!("{}", suite::render_fig10(&results, p));
+    }
+    for &p in &patterns {
+        println!("{}", suite::render_fig11(&results, p));
+    }
+    for &p in &patterns {
+        println!("{}", suite::render_occupancy(&results, p));
+    }
+}
+
+fn run_table2(o: &Opts) {
+    let mut cfg = if o.quick {
+        table2::Table2Config::quick()
+    } else {
+        table2::Table2Config::default()
+    };
+    cfg.base = suite_cfg(o, Scheme::xmp(2), Pattern::Random);
+    let r = timed("table2", || table2::run(&cfg));
+    println!("{r}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: xmp-experiments <fig1|fig4|fig6|fig7|fattree|table2|ablation|all> [--quick] [--seed N] [--scale N] [--flows N]");
+        std::process::exit(2);
+    };
+    let o = parse_opts(rest);
+    match cmd.as_str() {
+        "fig1" => run_fig1(&o),
+        "fig4" => run_fig4(&o),
+        "fig6" => run_fig6(&o),
+        "fig7" => run_fig7(&o),
+        "fattree" | "table1" | "fig8" | "fig9" | "fig10" | "fig11" | "table3" => run_fattree(&o),
+        "table2" => run_table2(&o),
+        "ablation" => {
+            let cfg = if o.quick {
+                ablation::AblationConfig::quick()
+            } else {
+                ablation::AblationConfig::default()
+            };
+            let r = timed("ablation", || ablation::run(&cfg));
+            println!("{r}");
+        }
+        "all" => {
+            run_fig1(&o);
+            run_fig4(&o);
+            run_fig6(&o);
+            run_fig7(&o);
+            run_fattree(&o);
+            run_table2(&o);
+        }
+        other => {
+            eprintln!("unknown command {other}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Network addresses.
+//!
+//! Addresses are four octets, interpreted by each topology's routing logic.
+//! The fat-tree topology follows the Al-Fares convention
+//! `(10, pod, switch, host-id)` and additionally hands each host **alias
+//! addresses** that differ in a path-selector octet — the simulator's
+//! equivalent of the paper's "we assigned multiple addresses to each host so
+//! that an MPTCP flow can establish multiple subflows that go through
+//! different paths".
+
+use std::fmt;
+
+/// A four-octet address, dotted-quad style.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub [u8; 4]);
+
+impl Addr {
+    /// Build from four octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Addr([a, b, c, d])
+    }
+
+    /// Octet accessors, named for the fat-tree convention.
+    pub const fn net(self) -> u8 {
+        self.0[0]
+    }
+    /// Second octet (pod index in the fat tree).
+    pub const fn pod(self) -> u8 {
+        self.0[1]
+    }
+    /// Third octet (switch index in the fat tree).
+    pub const fn switch(self) -> u8 {
+        self.0[2]
+    }
+    /// Fourth octet (host id / path selector in the fat tree).
+    pub const fn host(self) -> u8 {
+        self.0[3]
+    }
+
+    /// Same address with a replaced fourth octet (used for path aliases).
+    pub const fn with_host(self, d: u8) -> Self {
+        Addr([self.0[0], self.0[1], self.0[2], d])
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_display() {
+        let a = Addr::new(10, 3, 1, 2);
+        assert_eq!(a.net(), 10);
+        assert_eq!(a.pod(), 3);
+        assert_eq!(a.switch(), 1);
+        assert_eq!(a.host(), 2);
+        assert_eq!(a.to_string(), "10.3.1.2");
+    }
+
+    #[test]
+    fn with_host_replaces_only_last_octet() {
+        let a = Addr::new(10, 3, 1, 2);
+        assert_eq!(a.with_host(7), Addr::new(10, 3, 1, 7));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Addr::new(10, 0, 0, 1) < Addr::new(10, 0, 1, 0));
+        assert!(Addr::new(9, 9, 9, 9) < Addr::new(10, 0, 0, 0));
+    }
+}

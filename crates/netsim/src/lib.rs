@@ -1,0 +1,41 @@
+//! # xmp-netsim — packet-level data-center network simulator
+//!
+//! This crate models the network substrate the XMP paper evaluates on
+//! (the paper used NS-3.14 and a DummyNet testbed):
+//!
+//! * [`packet::Packet`] — packets with ECN codepoints and a generic payload
+//!   (the transport crate supplies TCP segments),
+//! * [`queue`] — queue disciplines: [`queue::DropTail`], the paper's
+//!   instantaneous-threshold ECN marker [`queue::EcnThreshold`], and classic
+//!   [`queue::Red`] with EWMA averaging (whose `Wq = 1`, `min = max = K`
+//!   configuration — the paper's Section 3 "two configuration tricks" —
+//!   degenerates to the threshold marker),
+//! * [`link::Link`] — full-duplex links with store-and-forward
+//!   serialization, propagation delay and optional fault injection,
+//! * [`routing::Router`] — pluggable per-switch forwarding,
+//! * [`network::Sim`] — the event loop tying nodes, links and host
+//!   [`agent::Agent`]s together on top of the `xmp-des` kernel.
+//!
+//! Everything is single-threaded and deterministic: same topology + same
+//! seed ⇒ bit-identical results.
+
+pub mod addr;
+pub mod agent;
+pub mod link;
+pub mod network;
+pub mod node;
+pub mod packet;
+pub mod queue;
+pub mod routing;
+pub mod stats;
+pub mod trace;
+
+pub use addr::Addr;
+pub use agent::{Agent, Ctx};
+pub use link::{FaultConfig, LinkId, LinkParams};
+pub use network::{NetEvent, Sim};
+pub use node::{NodeId, PortId};
+pub use packet::{Ecn, FlowId, Packet};
+pub use queue::{DropTail, EcnThreshold, EnqueueOutcome, Qdisc, QdiscConfig, Red, RedMode};
+pub use routing::{EcmpRouter, Router, StaticRouter};
+pub use trace::{TraceBuffer, TraceEvent, TraceKind};

@@ -1,0 +1,163 @@
+//! Full-duplex links with store-and-forward serialization.
+//!
+//! A link is two independent **directions**. Each direction has its own
+//! queue discipline, serialization state and statistics. A packet offered to
+//! a direction is (a) possibly dropped by fault injection, (b) offered to
+//! the qdisc (which may mark or drop), then (c) serialized onto the wire for
+//! `size / rate` and delivered `prop_delay` later.
+
+use crate::node::{NodeId, PortId};
+use crate::packet::Packet;
+use crate::queue::{Qdisc, QdiscConfig};
+use crate::stats::DirStats;
+use std::fmt;
+use xmp_des::{Bandwidth, SimDuration, SimRng, SimTime};
+
+/// Index of a link in the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl fmt::Debug for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Random fault injection on a link direction (smoltcp-style `--drop-chance`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultConfig {
+    /// Probability that an arriving packet is silently dropped.
+    pub drop_prob: f64,
+}
+
+/// Parameters for creating a link. Both directions share them.
+#[derive(Clone, Debug)]
+pub struct LinkParams {
+    /// Serialization rate.
+    pub bandwidth: Bandwidth,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Queue discipline for each direction.
+    pub queue: QdiscConfig,
+    /// Optional fault injection.
+    pub fault: FaultConfig,
+}
+
+impl LinkParams {
+    /// A link with the given rate/delay and a queue config, no faults.
+    pub fn new(bandwidth: Bandwidth, delay: SimDuration, queue: QdiscConfig) -> Self {
+        LinkParams {
+            bandwidth,
+            delay,
+            queue,
+            fault: FaultConfig::default(),
+        }
+    }
+
+    /// Add random drops with the given probability.
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        self.fault.drop_prob = p;
+        self
+    }
+}
+
+/// One direction of a link.
+pub struct Direction<P> {
+    /// Node the direction delivers to.
+    pub to_node: NodeId,
+    /// Port on `to_node` the packet arrives on.
+    pub to_port: PortId,
+    /// Queue of packets waiting behind the one being serialized.
+    pub queue: Box<dyn Qdisc<P>>,
+    /// Packet currently on the wire (being serialized), if any.
+    pub in_flight: Option<Packet<P>>,
+    /// Per-direction counters.
+    pub stats: DirStats,
+    pub(crate) fault: FaultConfig,
+    pub(crate) fault_rng: SimRng,
+}
+
+impl<P> Direction<P> {
+    /// Instantaneous backlog (waiting packets, excluding the one on the wire).
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Record a queue-length sample for time-weighted averaging.
+    pub(crate) fn sample_backlog(&mut self, now: SimTime) {
+        let depth = self.queue.len() + usize::from(self.in_flight.is_some());
+        self.stats.observe_backlog(now, depth);
+    }
+}
+
+impl<P> fmt::Debug for Direction<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Direction")
+            .field("to_node", &self.to_node)
+            .field("backlog", &self.queue.len())
+            .field("busy", &self.in_flight.is_some())
+            .finish()
+    }
+}
+
+/// A full-duplex link: `dirs[0]` carries a→b, `dirs[1]` carries b→a.
+pub struct Link<P> {
+    /// Serialization rate (both directions).
+    pub bandwidth: Bandwidth,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// The two directions.
+    pub dirs: [Direction<P>; 2],
+    /// Optional label from the topology builder (e.g. `"L3"`).
+    pub label: String,
+}
+
+impl<P> Link<P> {
+    pub(crate) fn new(
+        params: &LinkParams,
+        a: (NodeId, PortId),
+        b: (NodeId, PortId),
+        rng: &SimRng,
+        link_index: u32,
+        label: String,
+    ) -> Self
+    where
+        P: Send + 'static,
+    {
+        let mk_dir = |to: (NodeId, PortId), salt: u64| Direction {
+            to_node: to.0,
+            to_port: to.1,
+            queue: params.queue.build(),
+            in_flight: None,
+            stats: DirStats::default(),
+            fault: params.fault,
+            fault_rng: rng.derive((link_index as u64) << 1 | salt),
+        };
+        Link {
+            bandwidth: params.bandwidth,
+            delay: params.delay,
+            dirs: [mk_dir(b, 0), mk_dir(a, 1)],
+            label,
+        }
+    }
+
+    /// Convenience accessor.
+    pub fn dir(&self, d: u8) -> &Direction<P> {
+        &self.dirs[d as usize]
+    }
+
+    /// Mutable accessor.
+    pub fn dir_mut(&mut self, d: u8) -> &mut Direction<P> {
+        &mut self.dirs[d as usize]
+    }
+}
+
+impl<P> fmt::Debug for Link<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Link")
+            .field("bandwidth", &self.bandwidth)
+            .field("delay", &self.delay)
+            .field("label", &self.label)
+            .finish()
+    }
+}

@@ -1,0 +1,801 @@
+//! The simulation: nodes + links + agents + the event loop.
+//!
+//! [`Sim`] owns everything and processes three event kinds:
+//!
+//! * `TxDone` — a packet finished serializing onto a link direction; it now
+//!   propagates (scheduled `Deliver`) and the next queued packet starts
+//!   transmitting,
+//! * `Deliver` — a packet arrived at the far end: switches forward it
+//!   (consulting their [`Router`](crate::routing) implementation), hosts hand it to
+//!   their [`Agent`],
+//! * `Timer` — an agent timer fired (with lazy generation-based
+//!   cancellation).
+//!
+//! Drivers (workloads, experiments) interleave `run_until` with direct agent
+//! access through [`Sim::with_agent`], and observe out-of-band agent signals
+//! through the `run_until` callback.
+
+use crate::agent::{Agent, Ctx, Emit};
+use crate::link::{Link, LinkId, LinkParams};
+use crate::node::{Node, NodeId, NodeKind, PortId};
+use crate::packet::Packet;
+use crate::queue::EnqueueOutcome;
+use crate::routing::Router;
+use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
+use std::collections::{HashMap, VecDeque};
+use xmp_des::{Engine, SimRng, SimTime};
+
+/// Payload requirements for simulated packets.
+pub trait Payload: Clone + std::fmt::Debug + Send + 'static {}
+impl<T: Clone + std::fmt::Debug + Send + 'static> Payload for T {}
+
+/// Events processed by the network simulation.
+#[derive(Debug)]
+pub enum NetEvent<P> {
+    /// A packet finished serializing on `link` direction `dir`.
+    TxDone {
+        /// The link.
+        link: LinkId,
+        /// Direction index (0 = a→b, 1 = b→a).
+        dir: u8,
+    },
+    /// A packet reached the far end of `link` direction `dir`.
+    Deliver {
+        /// The link.
+        link: LinkId,
+        /// Direction index.
+        dir: u8,
+        /// The packet.
+        pkt: Packet<P>,
+    },
+    /// Agent timer expiry (ignored if `gen` is stale).
+    Timer {
+        /// Owning node.
+        node: NodeId,
+        /// Agent-chosen token.
+        token: u64,
+        /// Generation at scheduling time.
+        gen: u64,
+    },
+}
+
+/// The whole simulation.
+pub struct Sim<P: Payload> {
+    engine: Engine<NetEvent<P>>,
+    nodes: Vec<Node>,
+    links: Vec<Link<P>>,
+    agents: Vec<Option<Box<dyn Agent<P>>>>,
+    addr_book: HashMap<crate::addr::Addr, NodeId>,
+    timer_gens: HashMap<(u32, u64), u64>,
+    signals: VecDeque<(NodeId, u64)>,
+    rng: SimRng,
+    trace: Option<TraceBuffer>,
+}
+
+impl<P: Payload> Sim<P> {
+    /// Fresh, empty simulation seeded with `seed` (drives fault injection
+    /// and any other network-side randomness).
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            engine: Engine::new(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            agents: Vec::new(),
+            addr_book: HashMap::new(),
+            timer_gens: HashMap::new(),
+            signals: VecDeque::new(),
+            rng: SimRng::new(seed),
+            trace: None,
+        }
+    }
+
+    /// Turn on packet tracing with a ring buffer of `capacity` events
+    /// (off by default; see [`crate::trace`]).
+    pub fn enable_trace(&mut self, capacity: usize) -> &mut TraceBuffer {
+        self.trace = Some(TraceBuffer::new(capacity));
+        self.trace.as_mut().expect("just set")
+    }
+
+    /// The trace buffer, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref()
+    }
+
+    /// Mutable trace access (to adjust filters mid-run).
+    pub fn trace_mut(&mut self) -> Option<&mut TraceBuffer> {
+        self.trace.as_mut()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Total events handled so far.
+    pub fn events_processed(&self) -> u64 {
+        self.engine.processed()
+    }
+
+    /// Add an end host running `agent`.
+    pub fn add_host(&mut self, label: impl Into<String>, agent: Box<dyn Agent<P>>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::new(NodeKind::Host, label.into()));
+        self.agents.push(Some(agent));
+        id
+    }
+
+    /// Add a switch forwarding with `router`.
+    pub fn add_switch(&mut self, label: impl Into<String>, router: Box<dyn Router>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes
+            .push(Node::new(NodeKind::Switch(router), label.into()));
+        self.agents.push(None);
+        id
+    }
+
+    /// Replace a switch's router (topology builders wire routes after
+    /// connecting, once port numbers are known).
+    pub fn set_router(&mut self, node: NodeId, router: Box<dyn Router>) {
+        match &mut self.nodes[node.0 as usize].kind {
+            NodeKind::Switch(r) => *r = router,
+            NodeKind::Host => panic!("set_router on a host"),
+        }
+    }
+
+    /// Connect `a` and `b` with a full-duplex link; returns its id.
+    /// The new port indices are `a`'s and `b`'s next free ports.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        params: &LinkParams,
+        label: impl Into<String>,
+    ) -> LinkId {
+        assert_ne!(a, b, "self-loop link");
+        let id = LinkId(self.links.len() as u32);
+        let pa = PortId(self.nodes[a.0 as usize].ports.len() as u16);
+        let pb = PortId(self.nodes[b.0 as usize].ports.len() as u16);
+        let link = Link::new(params, (a, pa), (b, pb), &self.rng, id.0, label.into());
+        self.nodes[a.0 as usize].ports.push((id, 0));
+        self.nodes[b.0 as usize].ports.push((id, 1));
+        self.links.push(link);
+        id
+    }
+
+    /// Bind an address to a node (a node may hold many addresses; the
+    /// fat-tree path aliases rely on this).
+    pub fn bind_addr(&mut self, addr: crate::addr::Addr, node: NodeId) {
+        if let Some(prev) = self.addr_book.insert(addr, node) {
+            panic!("address {addr} already bound to {prev:?}");
+        }
+    }
+
+    /// Node owning `addr`, if bound.
+    pub fn lookup_addr(&self, addr: crate::addr::Addr) -> Option<NodeId> {
+        self.addr_book.get(&addr).copied()
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Immutable link access.
+    pub fn link(&self, id: LinkId) -> &Link<P> {
+        &self.links[id.0 as usize]
+    }
+
+    /// Iterate all links with their ids.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link<P>)> {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LinkId(i as u32), l))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Change a link's fault-injection drop probability at runtime
+    /// (both directions). `p = 1.0` blackholes the link — the simulator's
+    /// model of a link failure (the torus experiment closes L3 mid-run).
+    pub fn set_link_drop_prob(&mut self, link: LinkId, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        for d in &mut self.links[link.0 as usize].dirs {
+            d.fault.drop_prob = p;
+        }
+    }
+
+    /// Run the concrete agent on `node` with driver code.
+    ///
+    /// # Panics
+    /// Panics if `node` is not a host or its agent is not an `A`.
+    pub fn with_agent<A: Agent<P>, R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut A, &mut Ctx<'_, P>) -> R,
+    ) -> R {
+        let mut agent = self.agents[node.0 as usize]
+            .take()
+            .unwrap_or_else(|| panic!("{node:?} has no agent (switch or reentrant access)"));
+        let mut emits = Vec::new();
+        let now = self.engine.now();
+        let r = {
+            let mut ctx = Ctx::new(now, &mut emits);
+            let a = agent
+                .as_any_mut()
+                .downcast_mut::<A>()
+                .expect("agent type mismatch");
+            f(a, &mut ctx)
+        };
+        self.agents[node.0 as usize] = Some(agent);
+        self.process_emits(node, emits);
+        r
+    }
+
+    /// Process all events up to and including `deadline`. After each event,
+    /// pending agent signals are handed to `on_signal` (which may itself use
+    /// [`Sim::with_agent`] and generate more work).
+    pub fn run_until(
+        &mut self,
+        deadline: SimTime,
+        mut on_signal: impl FnMut(&mut Self, NodeId, u64),
+    ) {
+        loop {
+            match self.engine.peek_time() {
+                Some(t) if t <= deadline => {
+                    let (_, ev) = self.engine.pop().expect("peeked event vanished");
+                    self.handle(ev);
+                    while let Some((node, code)) = self.signals.pop_front() {
+                        on_signal(self, node, code);
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// `run_until` ignoring signals.
+    pub fn run_until_quiet(&mut self, deadline: SimTime) {
+        self.run_until(deadline, |_, _, _| {});
+    }
+
+    /// Advance the clock to `t` after the event queue has been drained up
+    /// to it (panics if that would skip an event). Drivers use this to
+    /// start flows at exact scheduled instants between network events.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.engine.advance_to(t);
+    }
+
+    fn handle(&mut self, ev: NetEvent<P>) {
+        match ev {
+            NetEvent::TxDone { link, dir } => self.on_tx_done(link, dir),
+            NetEvent::Deliver { link, dir, pkt } => self.on_deliver(link, dir, pkt),
+            NetEvent::Timer { node, token, gen } => self.on_timer(node, token, gen),
+        }
+    }
+
+    fn on_tx_done(&mut self, link: LinkId, dir: u8) {
+        let now = self.engine.now();
+        let l = &mut self.links[link.0 as usize];
+        let delay = l.delay;
+        let bandwidth = l.bandwidth;
+        let d = l.dir_mut(dir);
+        let pkt = d
+            .in_flight
+            .take()
+            .expect("TxDone with nothing in flight");
+        self.engine
+            .schedule(now + delay, NetEvent::Deliver { link, dir, pkt });
+        if let Some(next) = d.queue.dequeue() {
+            let tx = bandwidth.transmission_time(next.size);
+            d.in_flight = Some(next);
+            self.engine
+                .schedule(now + tx, NetEvent::TxDone { link, dir });
+        }
+        d.sample_backlog(now);
+    }
+
+    fn on_deliver(&mut self, link: LinkId, dir: u8, pkt: Packet<P>) {
+        let now = self.engine.now();
+        let l = &mut self.links[link.0 as usize];
+        let d = l.dir_mut(dir);
+        d.stats.delivered += 1;
+        d.stats.delivered_bytes += pkt.size;
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent {
+                at: now,
+                link,
+                dir,
+                kind: TraceKind::Deliver,
+                flow: pkt.flow,
+                size: pkt.size.as_bytes(),
+                backlog: d.queue.len(),
+            });
+        }
+        let to_node = d.to_node;
+        let to_port = d.to_port;
+        match &self.nodes[to_node.0 as usize].kind {
+            NodeKind::Switch(router) => {
+                let out_port = router.route(pkt.dst, pkt.flow, to_port);
+                let ports = &self.nodes[to_node.0 as usize].ports;
+                let &(out_link, out_dir) = ports
+                    .get(out_port.0 as usize)
+                    .unwrap_or_else(|| panic!("router chose missing port {out_port:?}"));
+                assert!(
+                    !(out_link == link && out_dir == dir ^ 1) || ports.len() == 1,
+                    "switch {} bounced {:?} back out its ingress",
+                    self.nodes[to_node.0 as usize].label,
+                    pkt.flow
+                );
+                self.enqueue_on(out_link, out_dir, pkt);
+            }
+            NodeKind::Host => {
+                self.dispatch_packet(to_node, pkt, to_port);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, node: NodeId, token: u64, gen: u64) {
+        let current = self
+            .timer_gens
+            .get(&(node.0, token))
+            .copied()
+            .unwrap_or(0);
+        if gen != current {
+            return; // cancelled or re-armed
+        }
+        let mut agent = self.agents[node.0 as usize]
+            .take()
+            .expect("timer for node without agent");
+        let mut emits = Vec::new();
+        {
+            let mut ctx = Ctx::new(self.engine.now(), &mut emits);
+            agent.on_timer(token, &mut ctx);
+        }
+        self.agents[node.0 as usize] = Some(agent);
+        self.process_emits(node, emits);
+    }
+
+    fn dispatch_packet(&mut self, node: NodeId, pkt: Packet<P>, port: PortId) {
+        let mut agent = self.agents[node.0 as usize]
+            .take()
+            .expect("packet delivered to host without agent");
+        let mut emits = Vec::new();
+        {
+            let mut ctx = Ctx::new(self.engine.now(), &mut emits);
+            agent.on_packet(pkt, port, &mut ctx);
+        }
+        self.agents[node.0 as usize] = Some(agent);
+        self.process_emits(node, emits);
+    }
+
+    fn process_emits(&mut self, node: NodeId, emits: Vec<Emit<P>>) {
+        let now = self.engine.now();
+        for emit in emits {
+            match emit {
+                Emit::Send { port, pkt } => {
+                    let &(link, dir) = self.nodes[node.0 as usize]
+                        .ports
+                        .get(port.0 as usize)
+                        .unwrap_or_else(|| panic!("{node:?} has no port {port:?}"));
+                    self.enqueue_on(link, dir, pkt);
+                }
+                Emit::SetTimer { token, at } => {
+                    let gen = self.timer_gens.entry((node.0, token)).or_insert(0);
+                    *gen += 1;
+                    let gen = *gen;
+                    self.engine
+                        .schedule(at.max(now), NetEvent::Timer { node, token, gen });
+                }
+                Emit::CancelTimer { token } => {
+                    *self.timer_gens.entry((node.0, token)).or_insert(0) += 1;
+                }
+                Emit::Signal(code) => self.signals.push_back((node, code)),
+            }
+        }
+    }
+
+    fn enqueue_on(&mut self, link: LinkId, dir: u8, pkt: Packet<P>) {
+        let now = self.engine.now();
+        let l = &mut self.links[link.0 as usize];
+        let bandwidth = l.bandwidth;
+        let d = l.dir_mut(dir);
+        if d.fault.drop_prob > 0.0 && d.fault_rng.chance(d.fault.drop_prob) {
+            d.stats.fault_dropped += 1;
+            if let Some(t) = self.trace.as_mut() {
+                t.record(TraceEvent {
+                    at: now,
+                    link,
+                    dir,
+                    kind: TraceKind::FaultDrop,
+                    flow: pkt.flow,
+                    size: pkt.size.as_bytes(),
+                    backlog: d.queue.len(),
+                });
+            }
+            return;
+        }
+        let (flow, size) = (pkt.flow, pkt.size.as_bytes());
+        match d.queue.enqueue(pkt) {
+            EnqueueOutcome::Dropped => {
+                d.stats.dropped += 1;
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(TraceEvent {
+                        at: now,
+                        link,
+                        dir,
+                        kind: TraceKind::Drop,
+                        flow,
+                        size,
+                        backlog: d.queue.len(),
+                    });
+                }
+            }
+            outcome => {
+                d.stats.enqueued += 1;
+                if outcome == EnqueueOutcome::EnqueuedMarked {
+                    d.stats.marked += 1;
+                }
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(TraceEvent {
+                        at: now,
+                        link,
+                        dir,
+                        kind: if outcome == EnqueueOutcome::EnqueuedMarked {
+                            TraceKind::Mark
+                        } else {
+                            TraceKind::Enqueue
+                        },
+                        flow,
+                        size,
+                        backlog: d.queue.len(),
+                    });
+                }
+                if d.in_flight.is_none() {
+                    let next = d.queue.dequeue().expect("just enqueued");
+                    let tx = bandwidth.transmission_time(next.size);
+                    d.in_flight = Some(next);
+                    self.engine
+                        .schedule(now + tx, NetEvent::TxDone { link, dir });
+                }
+                d.sample_backlog(now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::packet::{Ecn, FlowId};
+    use crate::queue::QdiscConfig;
+    use crate::routing::{AddrPattern, StaticRouter};
+    use std::any::Any;
+    use xmp_des::{Bandwidth, ByteSize, SimDuration};
+
+    /// Minimal agent: counts arrivals, echoes once if asked, records times.
+    #[derive(Default)]
+    struct Probe {
+        received: Vec<(u64, u64)>, // (arrival ns, payload)
+        echo: bool,
+        timer_fired: Vec<u64>,
+    }
+
+    impl Agent<u64> for Probe {
+        fn on_packet(&mut self, pkt: Packet<u64>, _port: PortId, ctx: &mut Ctx<'_, u64>) {
+            self.received.push((ctx.now().as_nanos(), pkt.payload));
+            if self.echo {
+                let mut back = pkt.clone();
+                std::mem::swap(&mut back.src, &mut back.dst);
+                back.payload += 1000;
+                let code = back.payload;
+                ctx.send(PortId(0), back);
+                ctx.signal(code);
+            }
+        }
+        fn on_timer(&mut self, token: u64, _ctx: &mut Ctx<'_, u64>) {
+            self.timer_fired.push(token);
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn params_1g() -> LinkParams {
+        LinkParams::new(
+            Bandwidth::from_gbps(1),
+            SimDuration::from_micros(20),
+            QdiscConfig::DropTail { cap: 100 },
+        )
+    }
+
+    fn pkt(src: Addr, dst: Addr, payload: u64) -> Packet<u64> {
+        Packet::new(src, dst, FlowId(7), Ecn::NotEct, ByteSize::from_bytes(1500), payload)
+    }
+
+    #[test]
+    fn two_hosts_timing_is_exact() {
+        let mut sim: Sim<u64> = Sim::new(1);
+        let a = sim.add_host("a", Box::new(Probe::default()));
+        let b = sim.add_host("b", Box::new(Probe::default()));
+        sim.connect(a, b, &params_1g(), "ab");
+        let (sa, da) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+        sim.with_agent::<Probe, _>(a, |_, ctx| {
+            ctx.send(PortId(0), pkt(sa, da, 42));
+        });
+        sim.run_until_quiet(SimTime::from_millis(1));
+        // 1500B at 1Gbps = 12us serialization + 20us propagation = 32us.
+        sim.with_agent::<Probe, _>(b, |p, _| {
+            assert_eq!(p.received, vec![(32_000, 42)]);
+        });
+    }
+
+    #[test]
+    fn serialization_is_back_to_back() {
+        let mut sim: Sim<u64> = Sim::new(1);
+        let a = sim.add_host("a", Box::new(Probe::default()));
+        let b = sim.add_host("b", Box::new(Probe::default()));
+        sim.connect(a, b, &params_1g(), "ab");
+        let (sa, da) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+        sim.with_agent::<Probe, _>(a, |_, ctx| {
+            for i in 0..3 {
+                ctx.send(PortId(0), pkt(sa, da, i));
+            }
+        });
+        sim.run_until_quiet(SimTime::from_millis(1));
+        sim.with_agent::<Probe, _>(b, |p, _| {
+            // Arrivals at 32, 44, 56 us: pipelined 12us apart.
+            assert_eq!(
+                p.received.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+                vec![32_000, 44_000, 56_000]
+            );
+        });
+    }
+
+    #[test]
+    fn switch_forwards_by_static_route() {
+        let mut sim: Sim<u64> = Sim::new(1);
+        let h1 = sim.add_host("h1", Box::new(Probe::default()));
+        let h2 = sim.add_host("h2", Box::new(Probe::default()));
+        let sw = sim.add_switch("sw", Box::new(StaticRouter::new()));
+        sim.connect(h1, sw, &params_1g(), "h1-sw"); // sw port 0
+        sim.connect(h2, sw, &params_1g(), "h2-sw"); // sw port 1
+        let (a1, a2) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+        sim.set_router(
+            sw,
+            Box::new(StaticRouter::new().to(a1, PortId(0)).to(a2, PortId(1))),
+        );
+        sim.with_agent::<Probe, _>(h1, |_, ctx| ctx.send(PortId(0), pkt(a1, a2, 5)));
+        sim.run_until_quiet(SimTime::from_millis(1));
+        sim.with_agent::<Probe, _>(h2, |p, _| {
+            // Two hops: 2 x (12us tx + 20us prop) = 64us.
+            assert_eq!(p.received, vec![(64_000, 5)]);
+        });
+    }
+
+    #[test]
+    fn echo_and_signals_round_trip() {
+        let mut sim: Sim<u64> = Sim::new(1);
+        let a = sim.add_host("a", Box::new(Probe::default()));
+        let b = sim.add_host(
+            "b",
+            Box::new(Probe {
+                echo: true,
+                ..Default::default()
+            }),
+        );
+        sim.connect(a, b, &params_1g(), "ab");
+        let (sa, da) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+        sim.with_agent::<Probe, _>(a, |_, ctx| ctx.send(PortId(0), pkt(sa, da, 1)));
+        let mut signals = Vec::new();
+        sim.run_until(SimTime::from_millis(1), |_, node, code| {
+            signals.push((node, code));
+        });
+        assert_eq!(signals, vec![(b, 1001)]);
+        sim.with_agent::<Probe, _>(a, |p, _| {
+            assert_eq!(p.received, vec![(64_000, 1001)]);
+        });
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        let mut sim: Sim<u64> = Sim::new(1);
+        let a = sim.add_host("a", Box::new(Probe::default()));
+        let b = sim.add_host("b", Box::new(Probe::default()));
+        sim.connect(a, b, &params_1g(), "ab");
+        sim.with_agent::<Probe, _>(a, |_, ctx| {
+            ctx.set_timer(1, SimTime::from_micros(10));
+            ctx.set_timer(2, SimTime::from_micros(20));
+            ctx.set_timer(3, SimTime::from_micros(30));
+            ctx.cancel_timer(2);
+            // Re-arm 3 later: only the new expiry fires.
+            ctx.set_timer(3, SimTime::from_micros(40));
+        });
+        sim.run_until_quiet(SimTime::from_millis(1));
+        sim.with_agent::<Probe, _>(a, |p, _| {
+            assert_eq!(p.timer_fired, vec![1, 3]);
+        });
+        assert_eq!(sim.now(), SimTime::from_micros(40));
+    }
+
+    #[test]
+    fn droptail_overflow_accounted() {
+        let mut sim: Sim<u64> = Sim::new(1);
+        let a = sim.add_host("a", Box::new(Probe::default()));
+        let b = sim.add_host("b", Box::new(Probe::default()));
+        let l = sim.connect(
+            a,
+            b,
+            &LinkParams::new(
+                Bandwidth::from_mbps(1),
+                SimDuration::from_micros(1),
+                QdiscConfig::DropTail { cap: 2 },
+            ),
+            "slow",
+        );
+        let (sa, da) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+        sim.with_agent::<Probe, _>(a, |_, ctx| {
+            for i in 0..10 {
+                ctx.send(PortId(0), pkt(sa, da, i));
+            }
+        });
+        sim.run_until_quiet(SimTime::from_secs(1));
+        let d = sim.link(l).dir(0);
+        // 1 in flight + 2 queued accepted; 7 dropped.
+        assert_eq!(d.stats.enqueued, 3);
+        assert_eq!(d.stats.dropped, 7);
+        assert_eq!(d.stats.delivered, 3);
+        sim.with_agent::<Probe, _>(b, |p, _| assert_eq!(p.received.len(), 3));
+    }
+
+    #[test]
+    fn fault_injection_drops_roughly_at_rate() {
+        let mut sim: Sim<u64> = Sim::new(99);
+        let a = sim.add_host("a", Box::new(Probe::default()));
+        let b = sim.add_host("b", Box::new(Probe::default()));
+        let l = sim.connect(a, b, &params_1g().with_drop_prob(0.5), "lossy");
+        let (sa, da) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+        for burst in 0..10 {
+            sim.with_agent::<Probe, _>(a, |_, ctx| {
+                for i in 0..100 {
+                    ctx.send(PortId(0), pkt(sa, da, burst * 100 + i));
+                }
+            });
+            sim.run_until_quiet(SimTime::from_millis(10 * (burst + 1)));
+        }
+        let s = &sim.link(l).dir(0).stats;
+        assert_eq!(s.fault_dropped + s.enqueued, 1000);
+        assert!(
+            (300..700).contains(&s.fault_dropped),
+            "drop count {} far from 50%",
+            s.fault_dropped
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run(seed: u64) -> Vec<(u64, u64)> {
+            let mut sim: Sim<u64> = Sim::new(seed);
+            let a = sim.add_host("a", Box::new(Probe::default()));
+            let b = sim.add_host("b", Box::new(Probe::default()));
+            sim.connect(a, b, &params_1g().with_drop_prob(0.3), "l");
+            let (sa, da) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+            sim.with_agent::<Probe, _>(a, |_, ctx| {
+                for i in 0..50 {
+                    ctx.send(PortId(0), pkt(sa, da, i));
+                }
+            });
+            sim.run_until_quiet(SimTime::from_secs(1));
+            sim.with_agent::<Probe, _>(b, |p, _| p.received.clone())
+        }
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn addr_binding() {
+        let mut sim: Sim<u64> = Sim::new(1);
+        let a = sim.add_host("a", Box::new(Probe::default()));
+        let addr = Addr::new(10, 0, 0, 1);
+        sim.bind_addr(addr, a);
+        sim.bind_addr(addr.with_host(9), a);
+        assert_eq!(sim.lookup_addr(addr), Some(a));
+        assert_eq!(sim.lookup_addr(addr.with_host(9)), Some(a));
+        assert_eq!(sim.lookup_addr(Addr::new(9, 9, 9, 9)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already bound")]
+    fn duplicate_addr_panics() {
+        let mut sim: Sim<u64> = Sim::new(1);
+        let a = sim.add_host("a", Box::new(Probe::default()));
+        let b = sim.add_host("b", Box::new(Probe::default()));
+        sim.bind_addr(Addr::new(10, 0, 0, 1), a);
+        sim.bind_addr(Addr::new(10, 0, 0, 1), b);
+    }
+
+    #[test]
+    fn ecn_threshold_marks_under_load() {
+        let mut sim: Sim<u64> = Sim::new(1);
+        let a = sim.add_host("a", Box::new(Probe::default()));
+        let b = sim.add_host("b", Box::new(Probe::default()));
+        let l = sim.connect(
+            a,
+            b,
+            &LinkParams::new(
+                Bandwidth::from_mbps(10),
+                SimDuration::from_micros(1),
+                QdiscConfig::EcnThreshold { cap: 100, k: 3 },
+            ),
+            "mk",
+        );
+        let (sa, da) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+        sim.with_agent::<Probe, _>(a, |_, ctx| {
+            for i in 0..10 {
+                let mut p = pkt(sa, da, i);
+                p.ecn = Ecn::Ect;
+                ctx.send(PortId(0), p);
+            }
+        });
+        sim.run_until_quiet(SimTime::from_secs(1));
+        let s = &sim.link(l).dir(0).stats;
+        // Arrivals are instantaneous: 1 in flight, backlog grows 0..=8;
+        // arrivals seeing backlog >= 3 get marked: packets 4..9 => 6 marks.
+        assert_eq!(s.marked, 6);
+        sim.with_agent::<Probe, _>(b, |p, _| assert_eq!(p.received.len(), 10));
+        // The paper's premise: mean queue depth stays near K under load.
+        assert!(sim.link(l).dir(0).stats.max_depth <= 10);
+    }
+
+    #[test]
+    fn tracing_records_the_packet_life_cycle() {
+        use crate::trace::TraceKind;
+        let mut sim: Sim<u64> = Sim::new(1);
+        let a = sim.add_host("a", Box::new(Probe::default()));
+        let b = sim.add_host("b", Box::new(Probe::default()));
+        sim.connect(
+            a,
+            b,
+            &LinkParams::new(
+                Bandwidth::from_mbps(10),
+                SimDuration::from_micros(1),
+                QdiscConfig::EcnThreshold { cap: 3, k: 1 },
+            ),
+            "l",
+        );
+        sim.enable_trace(64);
+        let (sa, da) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+        sim.with_agent::<Probe, _>(a, |_, ctx| {
+            for i in 0..6 {
+                let mut p = pkt(sa, da, i);
+                p.ecn = Ecn::Ect;
+                ctx.send(PortId(0), p);
+            }
+        });
+        sim.run_until_quiet(SimTime::from_secs(1));
+        let trace = sim.trace().expect("enabled");
+        let kinds: Vec<TraceKind> = trace.events().map(|e| e.kind).collect();
+        // 6 offered: 1 straight to the wire, 1 unmarked enqueue, 2 marked,
+        // 2 overflow drops; 4 deliveries interleave.
+        assert_eq!(kinds.iter().filter(|&&k| k == TraceKind::Drop).count(), 2);
+        assert_eq!(kinds.iter().filter(|&&k| k == TraceKind::Mark).count(), 2);
+        assert_eq!(
+            kinds.iter().filter(|&&k| k == TraceKind::Deliver).count(),
+            4
+        );
+        // Render includes the queue depth annotations.
+        assert!(trace.render().contains("q="));
+    }
+
+    #[test]
+    fn pattern_any_route_matches() {
+        // Guards against AddrPattern::any() regressions in longest-match.
+        let p = AddrPattern::any();
+        assert_eq!(p.specificity(), 0);
+        assert!(p.matches(Addr::new(0, 0, 0, 0)));
+    }
+}

@@ -1,0 +1,73 @@
+//! Nodes: hosts and switches.
+
+use crate::link::LinkId;
+use crate::routing::Router;
+use std::fmt;
+
+/// Index of a node in the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Index of a port on a node (attachment order of `connect` calls).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u16);
+
+impl fmt::Debug for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// What a node is.
+pub enum NodeKind {
+    /// An end host; packets delivered here go to the node's agent.
+    Host,
+    /// A switch; packets delivered here are forwarded by the router.
+    Switch(Box<dyn Router>),
+}
+
+impl fmt::Debug for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::Host => write!(f, "Host"),
+            NodeKind::Switch(_) => write!(f, "Switch"),
+        }
+    }
+}
+
+/// A node and its port-to-link attachments.
+#[derive(Debug)]
+pub struct Node {
+    /// Host or switch.
+    pub kind: NodeKind,
+    /// `ports[p] = (link, direction out of this node)`.
+    pub ports: Vec<(LinkId, u8)>,
+    /// Optional human-readable label (topology builders set it).
+    pub label: String,
+}
+
+impl Node {
+    pub(crate) fn new(kind: NodeKind, label: String) -> Self {
+        Node {
+            kind,
+            ports: Vec::new(),
+            label,
+        }
+    }
+
+    /// Number of attached ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Whether this node is a host.
+    pub fn is_host(&self) -> bool {
+        matches!(self.kind, NodeKind::Host)
+    }
+}

@@ -1,0 +1,101 @@
+//! Packets and ECN codepoints.
+
+use crate::addr::Addr;
+use std::fmt;
+use xmp_des::ByteSize;
+
+/// ECN codepoint in the IP header (RFC 3168).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Ecn {
+    /// Not ECN-capable transport: congested queues must drop, not mark.
+    #[default]
+    NotEct,
+    /// ECN-capable transport.
+    Ect,
+    /// Congestion Experienced — set by a switch on an ECT packet.
+    Ce,
+}
+
+impl Ecn {
+    /// Whether a switch may mark this packet instead of dropping it.
+    pub fn is_capable(self) -> bool {
+        !matches!(self, Ecn::NotEct)
+    }
+}
+
+/// Opaque flow identifier, assigned by the transport/workload layer.
+/// Used for ECMP hashing, tracing and accounting.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FlowId(pub u64);
+
+impl fmt::Debug for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow#{}", self.0)
+    }
+}
+
+/// A simulated packet: addressing + ECN + wire size + transport payload.
+///
+/// `size` is the **wire size** (headers + payload) and is what queues and
+/// link serialization account; the payload carries transport semantics.
+#[derive(Clone, Debug)]
+pub struct Packet<P> {
+    /// Source address.
+    pub src: Addr,
+    /// Destination address (drives routing).
+    pub dst: Addr,
+    /// Flow the packet belongs to.
+    pub flow: FlowId,
+    /// ECN codepoint.
+    pub ecn: Ecn,
+    /// Total on-wire size.
+    pub size: ByteSize,
+    /// Transport payload (e.g. a TCP segment header).
+    pub payload: P,
+}
+
+impl<P> Packet<P> {
+    /// Convenience constructor.
+    pub fn new(src: Addr, dst: Addr, flow: FlowId, ecn: Ecn, size: ByteSize, payload: P) -> Self {
+        Packet {
+            src,
+            dst,
+            flow,
+            ecn,
+            size,
+            payload,
+        }
+    }
+
+    /// Apply a Congestion Experienced mark (only meaningful on ECT packets).
+    pub fn mark_ce(&mut self) {
+        debug_assert!(self.ecn.is_capable(), "marking a non-ECT packet");
+        self.ecn = Ecn::Ce;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecn_capability() {
+        assert!(!Ecn::NotEct.is_capable());
+        assert!(Ecn::Ect.is_capable());
+        assert!(Ecn::Ce.is_capable());
+    }
+
+    #[test]
+    fn mark_ce_transitions() {
+        let mut p = Packet::new(
+            Addr::new(10, 0, 0, 2),
+            Addr::new(10, 1, 0, 2),
+            FlowId(1),
+            Ecn::Ect,
+            ByteSize::from_bytes(1500),
+            (),
+        );
+        p.mark_ce();
+        assert_eq!(p.ecn, Ecn::Ce);
+    }
+}

@@ -1,0 +1,497 @@
+//! Queue disciplines for switch output ports.
+//!
+//! Three disciplines are provided:
+//!
+//! * [`DropTail`] — classic FIFO, drop on overflow.
+//! * [`EcnThreshold`] — the paper's packet-marking rule (BOS rule 1 /
+//!   DCTCP-style): an arriving ECT packet is CE-marked when the
+//!   *instantaneous* queue length is at least `K` packets; non-ECT packets
+//!   are only dropped on overflow. This is also what the paper configures on
+//!   real RED switches via `Wq = 1`, `min = max = K`.
+//! * [`Red`] — Random Early Detection with EWMA average-queue estimation and
+//!   the count-based probability spreading of Floyd & Jacobson, in either
+//!   marking or dropping mode. Included both as the Internet-style baseline
+//!   the paper argues against (Section 2.1) and to verify the degenerate
+//!   configuration equals [`EcnThreshold`].
+//!
+//! All capacities and thresholds are counted in **packets**, as in the paper
+//! ("we set K to 15 and the queue size to 100 packets").
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+use xmp_des::SimRng;
+
+/// Result of offering a packet to a queue discipline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// Packet accepted unchanged.
+    Enqueued,
+    /// Packet accepted and CE-marked (ECT packets only).
+    EnqueuedMarked,
+    /// Packet rejected (buffer overflow or early drop).
+    Dropped,
+}
+
+/// A FIFO queue discipline over simulator packets.
+pub trait Qdisc<P>: Send {
+    /// Offer a packet; the discipline may mark, enqueue or drop it.
+    fn enqueue(&mut self, pkt: Packet<P>) -> EnqueueOutcome;
+    /// Take the next packet for transmission.
+    fn dequeue(&mut self) -> Option<Packet<P>>;
+    /// Instantaneous backlog in packets.
+    fn len(&self) -> usize;
+    /// Whether the backlog is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Buffer capacity in packets.
+    fn capacity(&self) -> usize;
+}
+
+/// Declarative queue configuration, turned into a boxed discipline per port.
+#[derive(Clone, Debug)]
+pub enum QdiscConfig {
+    /// FIFO with the given capacity (packets).
+    DropTail {
+        /// Buffer capacity in packets.
+        cap: usize,
+    },
+    /// Instantaneous-threshold ECN marking (the paper's rule).
+    EcnThreshold {
+        /// Buffer capacity in packets.
+        cap: usize,
+        /// Marking threshold K in packets.
+        k: usize,
+    },
+    /// Classic RED.
+    Red {
+        /// Buffer capacity in packets.
+        cap: usize,
+        /// EWMA weight Wq in (0, 1].
+        wq: f64,
+        /// Lower threshold (packets).
+        min_th: f64,
+        /// Upper threshold (packets).
+        max_th: f64,
+        /// Max marking probability at `max_th`.
+        max_p: f64,
+        /// Mark ECT packets or drop.
+        mode: RedMode,
+        /// RNG seed for the probabilistic decisions.
+        seed: u64,
+    },
+}
+
+impl QdiscConfig {
+    /// Materialize the configuration.
+    pub fn build<P: Send + 'static>(&self) -> Box<dyn Qdisc<P>> {
+        match *self {
+            QdiscConfig::DropTail { cap } => Box::new(DropTail::new(cap)),
+            QdiscConfig::EcnThreshold { cap, k } => Box::new(EcnThreshold::new(cap, k)),
+            QdiscConfig::Red {
+                cap,
+                wq,
+                min_th,
+                max_th,
+                max_p,
+                mode,
+                seed,
+            } => Box::new(Red::new(cap, wq, min_th, max_th, max_p, mode, seed)),
+        }
+    }
+}
+
+/// FIFO, drop on overflow.
+#[derive(Debug)]
+pub struct DropTail<P> {
+    buf: VecDeque<Packet<P>>,
+    cap: usize,
+}
+
+impl<P> DropTail<P> {
+    /// FIFO with `cap` packet slots.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
+        DropTail {
+            buf: VecDeque::with_capacity(cap.min(4096)),
+            cap,
+        }
+    }
+}
+
+impl<P: Send> Qdisc<P> for DropTail<P> {
+    fn enqueue(&mut self, pkt: Packet<P>) -> EnqueueOutcome {
+        if self.buf.len() >= self.cap {
+            return EnqueueOutcome::Dropped;
+        }
+        self.buf.push_back(pkt);
+        EnqueueOutcome::Enqueued
+    }
+
+    fn dequeue(&mut self) -> Option<Packet<P>> {
+        self.buf.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+/// The paper's marking rule: CE-mark an arriving ECT packet when the
+/// instantaneous queue length (packets already waiting) is `>= K`.
+#[derive(Debug)]
+pub struct EcnThreshold<P> {
+    buf: VecDeque<Packet<P>>,
+    cap: usize,
+    k: usize,
+}
+
+impl<P> EcnThreshold<P> {
+    /// Threshold marker with capacity `cap` and marking threshold `k`.
+    pub fn new(cap: usize, k: usize) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
+        assert!(k <= cap, "marking threshold K={k} exceeds capacity {cap}");
+        EcnThreshold {
+            buf: VecDeque::with_capacity(cap.min(4096)),
+            cap,
+            k,
+        }
+    }
+
+    /// The marking threshold K (packets).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl<P: Send> Qdisc<P> for EcnThreshold<P> {
+    fn enqueue(&mut self, mut pkt: Packet<P>) -> EnqueueOutcome {
+        if self.buf.len() >= self.cap {
+            return EnqueueOutcome::Dropped;
+        }
+        let mark = self.buf.len() >= self.k && pkt.ecn.is_capable();
+        if mark {
+            pkt.mark_ce();
+        }
+        self.buf.push_back(pkt);
+        if mark {
+            EnqueueOutcome::EnqueuedMarked
+        } else {
+            EnqueueOutcome::Enqueued
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<Packet<P>> {
+        self.buf.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+/// Whether RED signals congestion by marking ECT packets or by dropping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RedMode {
+    /// CE-mark ECT packets; drop non-ECT ones that would have been marked.
+    Mark,
+    /// Always drop (the original RED; DummyNet's built-in behaviour the
+    /// paper had to patch away).
+    Drop,
+}
+
+/// Random Early Detection (Floyd & Jacobson 1993) with EWMA averaging.
+#[derive(Debug)]
+pub struct Red<P> {
+    buf: VecDeque<Packet<P>>,
+    cap: usize,
+    wq: f64,
+    min_th: f64,
+    max_th: f64,
+    max_p: f64,
+    mode: RedMode,
+    avg: f64,
+    /// Packets since the last mark/drop while in the between-thresholds band.
+    count: i64,
+    rng: SimRng,
+}
+
+impl<P> Red<P> {
+    /// Classic RED. `wq = 1.0, min_th = max_th = K` reproduces the paper's
+    /// instantaneous-threshold marker on RED-only hardware.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cap: usize,
+        wq: f64,
+        min_th: f64,
+        max_th: f64,
+        max_p: f64,
+        mode: RedMode,
+        seed: u64,
+    ) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
+        assert!((0.0..=1.0).contains(&wq) && wq > 0.0, "Wq must be in (0,1]");
+        assert!(min_th <= max_th, "min_th must not exceed max_th");
+        assert!((0.0..=1.0).contains(&max_p), "max_p must be a probability");
+        Red {
+            buf: VecDeque::with_capacity(cap.min(4096)),
+            cap,
+            wq,
+            min_th,
+            max_th,
+            max_p,
+            mode,
+            avg: 0.0,
+            count: -1,
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// Current EWMA queue estimate (packets).
+    pub fn avg(&self) -> f64 {
+        self.avg
+    }
+
+    /// Decide whether the arriving packet should be signalled, updating the
+    /// EWMA and the inter-mark count.
+    fn should_signal(&mut self) -> bool {
+        self.avg = (1.0 - self.wq) * self.avg + self.wq * self.buf.len() as f64;
+        if self.avg < self.min_th {
+            self.count = -1;
+            return false;
+        }
+        if self.avg >= self.max_th {
+            self.count = 0;
+            return true;
+        }
+        // Between thresholds: geometric spreading via the count mechanism.
+        if self.count >= 0 {
+            self.count += 1;
+        } else {
+            self.count = 0;
+        }
+        let pb = (self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th))
+            .clamp(0.0, 1.0);
+        let pa = if self.count as f64 * pb >= 1.0 {
+            1.0
+        } else {
+            pb / (1.0 - self.count as f64 * pb)
+        };
+        if self.rng.chance(pa) {
+            self.count = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<P: Send> Qdisc<P> for Red<P> {
+    fn enqueue(&mut self, mut pkt: Packet<P>) -> EnqueueOutcome {
+        if self.buf.len() >= self.cap {
+            self.count = 0;
+            return EnqueueOutcome::Dropped;
+        }
+        let signal = self.should_signal();
+        if signal {
+            match self.mode {
+                RedMode::Mark if pkt.ecn.is_capable() => {
+                    pkt.mark_ce();
+                    self.buf.push_back(pkt);
+                    EnqueueOutcome::EnqueuedMarked
+                }
+                _ => EnqueueOutcome::Dropped,
+            }
+        } else {
+            self.buf.push_back(pkt);
+            EnqueueOutcome::Enqueued
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<Packet<P>> {
+        self.buf.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::packet::{Ecn, FlowId};
+    use proptest::prelude::*;
+    use xmp_des::ByteSize;
+
+    fn pkt(ecn: Ecn) -> Packet<u32> {
+        Packet::new(
+            Addr::new(10, 0, 0, 2),
+            Addr::new(10, 1, 0, 2),
+            FlowId(1),
+            ecn,
+            ByteSize::from_bytes(1500),
+            0,
+        )
+    }
+
+    #[test]
+    fn droptail_drops_on_overflow() {
+        let mut q = DropTail::new(2);
+        assert_eq!(q.enqueue(pkt(Ecn::NotEct)), EnqueueOutcome::Enqueued);
+        assert_eq!(q.enqueue(pkt(Ecn::NotEct)), EnqueueOutcome::Enqueued);
+        assert_eq!(q.enqueue(pkt(Ecn::NotEct)), EnqueueOutcome::Dropped);
+        assert_eq!(q.len(), 2);
+        assert!(q.dequeue().is_some());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn threshold_marks_ect_at_k() {
+        let mut q = EcnThreshold::new(100, 3);
+        for _ in 0..3 {
+            assert_eq!(q.enqueue(pkt(Ecn::Ect)), EnqueueOutcome::Enqueued);
+        }
+        // 4th arrival sees backlog 3 >= K=3 -> marked.
+        assert_eq!(q.enqueue(pkt(Ecn::Ect)), EnqueueOutcome::EnqueuedMarked);
+        // Draining below K stops marking.
+        q.dequeue();
+        q.dequeue();
+        assert_eq!(q.enqueue(pkt(Ecn::Ect)), EnqueueOutcome::Enqueued);
+    }
+
+    #[test]
+    fn threshold_never_marks_non_ect() {
+        let mut q = EcnThreshold::new(10, 1);
+        q.enqueue(pkt(Ecn::NotEct));
+        assert_eq!(q.enqueue(pkt(Ecn::NotEct)), EnqueueOutcome::Enqueued);
+        // Fill and overflow-drop.
+        for _ in 0..8 {
+            q.enqueue(pkt(Ecn::NotEct));
+        }
+        assert_eq!(q.enqueue(pkt(Ecn::NotEct)), EnqueueOutcome::Dropped);
+    }
+
+    #[test]
+    fn threshold_marked_packet_carries_ce() {
+        let mut q = EcnThreshold::new(10, 0);
+        assert_eq!(q.enqueue(pkt(Ecn::Ect)), EnqueueOutcome::EnqueuedMarked);
+        assert_eq!(q.dequeue().unwrap().ecn, Ecn::Ce);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn threshold_k_must_fit() {
+        EcnThreshold::<u32>::new(10, 11);
+    }
+
+    #[test]
+    fn red_below_min_never_signals() {
+        let mut q = Red::new(100, 0.5, 50.0, 80.0, 0.1, RedMode::Mark, 1);
+        for _ in 0..20 {
+            assert_eq!(q.enqueue(pkt(Ecn::Ect)), EnqueueOutcome::Enqueued);
+        }
+    }
+
+    #[test]
+    fn red_degenerate_config_equals_threshold() {
+        // Wq = 1, min = max = K: signal exactly when instantaneous len >= K.
+        let k = 5.0;
+        let mut red = Red::new(100, 1.0, k, k, 1.0, RedMode::Mark, 2);
+        let mut thr = EcnThreshold::new(100, 5);
+        for i in 0..40 {
+            let a = red.enqueue(pkt(Ecn::Ect));
+            let b = thr.enqueue(pkt(Ecn::Ect));
+            assert_eq!(a, b, "diverged at packet {i}");
+            if i % 3 == 0 {
+                red.dequeue();
+                thr.dequeue();
+            }
+        }
+    }
+
+    #[test]
+    fn red_drop_mode_drops_instead_of_marking() {
+        let mut q = Red::new(100, 1.0, 0.0, 0.0, 1.0, RedMode::Drop, 3);
+        assert_eq!(q.enqueue(pkt(Ecn::Ect)), EnqueueOutcome::Dropped);
+    }
+
+    #[test]
+    fn red_mark_mode_drops_non_ect() {
+        let mut q = Red::new(100, 1.0, 0.0, 0.0, 1.0, RedMode::Mark, 4);
+        assert_eq!(q.enqueue(pkt(Ecn::NotEct)), EnqueueOutcome::Dropped);
+        assert_eq!(q.enqueue(pkt(Ecn::Ect)), EnqueueOutcome::EnqueuedMarked);
+    }
+
+    #[test]
+    fn qdisc_config_builds() {
+        let mut a: Box<dyn Qdisc<u32>> = QdiscConfig::DropTail { cap: 4 }.build();
+        let mut b: Box<dyn Qdisc<u32>> = QdiscConfig::EcnThreshold { cap: 4, k: 1 }.build();
+        let mut c: Box<dyn Qdisc<u32>> = QdiscConfig::Red {
+            cap: 4,
+            wq: 0.5,
+            min_th: 1.0,
+            max_th: 3.0,
+            max_p: 0.5,
+            mode: RedMode::Mark,
+            seed: 7,
+        }
+        .build();
+        for q in [&mut a, &mut b, &mut c] {
+            assert_eq!(q.capacity(), 4);
+            q.enqueue(pkt(Ecn::Ect));
+            assert_eq!(q.len(), 1);
+        }
+    }
+
+    proptest! {
+        /// Conservation: every offered packet is either dropped or eventually
+        /// dequeued; backlog never exceeds capacity.
+        #[test]
+        fn prop_queue_conservation(cap in 1usize..64, k in 0usize..64, ops in proptest::collection::vec(any::<bool>(), 0..300)) {
+            let k = k.min(cap);
+            let mut q = EcnThreshold::new(cap, k);
+            let (mut enq, mut drop, mut deq) = (0u32, 0u32, 0u32);
+            for op in ops {
+                if op {
+                    match q.enqueue(pkt(Ecn::Ect)) {
+                        EnqueueOutcome::Dropped => drop += 1,
+                        _ => enq += 1,
+                    }
+                } else if q.dequeue().is_some() {
+                    deq += 1;
+                }
+                prop_assert!(q.len() <= cap);
+            }
+            prop_assert_eq!(enq as usize, deq as usize + q.len());
+            let _ = drop;
+        }
+
+        /// FIFO order is preserved by all disciplines for accepted packets.
+        #[test]
+        fn prop_fifo_order(n in 1usize..50) {
+            let mut q = DropTail::new(64);
+            for i in 0..n {
+                let mut p = pkt(Ecn::NotEct);
+                p.payload = i as u32;
+                q.enqueue(p);
+            }
+            for i in 0..n {
+                prop_assert_eq!(q.dequeue().unwrap().payload, i as u32);
+            }
+        }
+    }
+}

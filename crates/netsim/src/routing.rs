@@ -1,0 +1,214 @@
+//! Switch forwarding logic.
+//!
+//! Each switch owns a [`Router`] deciding the output port for a packet.
+//! Small topologies use [`StaticRouter`] (longest-exact-match on the
+//! destination address with octet wildcards); [`EcmpRouter`] adds
+//! hash-based spreading over equal-cost ports (the scheme the paper's
+//! simulations *replace* with deterministic Two-Level Routing Lookup — kept
+//! here for ablation studies). The fat-tree two-level router lives in
+//! `xmp-topo` next to the topology that defines its semantics.
+
+use crate::addr::Addr;
+use crate::node::PortId;
+use crate::packet::FlowId;
+
+/// Forwarding decision logic for one switch.
+pub trait Router: Send {
+    /// Choose the output port for a packet to `dst` belonging to `flow`,
+    /// arriving on `in_port`.
+    fn route(&self, dst: Addr, flow: FlowId, in_port: PortId) -> PortId;
+}
+
+/// A destination pattern: each octet either matches exactly or is a wildcard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AddrPattern(pub [Option<u8>; 4]);
+
+impl AddrPattern {
+    /// Match the full address exactly.
+    pub fn exact(a: Addr) -> Self {
+        AddrPattern([Some(a.0[0]), Some(a.0[1]), Some(a.0[2]), Some(a.0[3])])
+    }
+
+    /// Match the first three octets (a /24-style subnet).
+    pub fn subnet3(a: Addr) -> Self {
+        AddrPattern([Some(a.0[0]), Some(a.0[1]), Some(a.0[2]), None])
+    }
+
+    /// Match the first two octets (a pod).
+    pub fn subnet2(a: Addr) -> Self {
+        AddrPattern([Some(a.0[0]), Some(a.0[1]), None, None])
+    }
+
+    /// Match anything.
+    pub fn any() -> Self {
+        AddrPattern([None; 4])
+    }
+
+    /// Whether `a` matches this pattern.
+    pub fn matches(&self, a: Addr) -> bool {
+        self.0
+            .iter()
+            .zip(a.0.iter())
+            .all(|(p, o)| p.is_none_or(|v| v == *o))
+    }
+
+    /// Number of fixed octets (specificity for longest-match).
+    pub fn specificity(&self) -> usize {
+        self.0.iter().filter(|p| p.is_some()).count()
+    }
+}
+
+/// Longest-match static routing over [`AddrPattern`]s.
+pub struct StaticRouter {
+    // Kept sorted by descending specificity; first match wins.
+    entries: Vec<(AddrPattern, PortId)>,
+}
+
+impl StaticRouter {
+    /// Empty table.
+    pub fn new() -> Self {
+        StaticRouter {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Add a route; more specific patterns take precedence regardless of
+    /// insertion order; equal specificity resolves by insertion order.
+    pub fn add(mut self, pat: AddrPattern, port: PortId) -> Self {
+        let pos = self
+            .entries
+            .iter()
+            .position(|(p, _)| p.specificity() < pat.specificity())
+            .unwrap_or(self.entries.len());
+        self.entries.insert(pos, (pat, port));
+        self
+    }
+
+    /// Convenience: exact-destination route.
+    pub fn to(self, dst: Addr, port: PortId) -> Self {
+        self.add(AddrPattern::exact(dst), port)
+    }
+
+    /// Convenience: default route.
+    pub fn default_via(self, port: PortId) -> Self {
+        self.add(AddrPattern::any(), port)
+    }
+}
+
+impl Default for StaticRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Router for StaticRouter {
+    fn route(&self, dst: Addr, _flow: FlowId, _in_port: PortId) -> PortId {
+        self.entries
+            .iter()
+            .find(|(p, _)| p.matches(dst))
+            .map(|&(_, port)| port)
+            .unwrap_or_else(|| panic!("no route to {dst}"))
+    }
+}
+
+/// ECMP: static routes whose targets are port *groups*, spread by a hash of
+/// the flow id (per-flow consistent, like real switch ECMP).
+pub struct EcmpRouter {
+    entries: Vec<(AddrPattern, Vec<PortId>)>,
+}
+
+impl EcmpRouter {
+    /// Empty table.
+    pub fn new() -> Self {
+        EcmpRouter {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Add a route to a group of equal-cost ports.
+    pub fn add(mut self, pat: AddrPattern, ports: Vec<PortId>) -> Self {
+        assert!(!ports.is_empty(), "ECMP group must be non-empty");
+        let pos = self
+            .entries
+            .iter()
+            .position(|(p, _)| p.specificity() < pat.specificity())
+            .unwrap_or(self.entries.len());
+        self.entries.insert(pos, (pat, ports));
+        self
+    }
+}
+
+impl Default for EcmpRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    z ^ (z >> 33)
+}
+
+impl Router for EcmpRouter {
+    fn route(&self, dst: Addr, flow: FlowId, _in_port: PortId) -> PortId {
+        let (_, group) = self
+            .entries
+            .iter()
+            .find(|(p, _)| p.matches(dst))
+            .unwrap_or_else(|| panic!("no ECMP route to {dst}"));
+        let h = mix64(flow.0 ^ u64::from_le_bytes([dst.0[0], dst.0[1], dst.0[2], dst.0[3], 0, 0, 0, 0]));
+        group[(h % group.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_matching() {
+        let a = Addr::new(10, 1, 2, 3);
+        assert!(AddrPattern::exact(a).matches(a));
+        assert!(!AddrPattern::exact(a).matches(Addr::new(10, 1, 2, 4)));
+        assert!(AddrPattern::subnet3(a).matches(Addr::new(10, 1, 2, 9)));
+        assert!(!AddrPattern::subnet3(a).matches(Addr::new(10, 1, 3, 3)));
+        assert!(AddrPattern::subnet2(a).matches(Addr::new(10, 1, 7, 7)));
+        assert!(AddrPattern::any().matches(Addr::new(1, 2, 3, 4)));
+    }
+
+    #[test]
+    fn static_longest_match_wins() {
+        let dst = Addr::new(10, 1, 2, 3);
+        let r = StaticRouter::new()
+            .default_via(PortId(0))
+            .add(AddrPattern::subnet2(dst), PortId(1))
+            .to(dst, PortId(2));
+        assert_eq!(r.route(dst, FlowId(0), PortId(9)), PortId(2));
+        assert_eq!(r.route(Addr::new(10, 1, 9, 9), FlowId(0), PortId(9)), PortId(1));
+        assert_eq!(r.route(Addr::new(9, 9, 9, 9), FlowId(0), PortId(9)), PortId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn static_missing_route_panics() {
+        StaticRouter::new().route(Addr::new(1, 1, 1, 1), FlowId(0), PortId(0));
+    }
+
+    #[test]
+    fn ecmp_is_per_flow_consistent_and_spreads() {
+        let r = EcmpRouter::new().add(
+            AddrPattern::any(),
+            vec![PortId(0), PortId(1), PortId(2), PortId(3)],
+        );
+        let dst = Addr::new(10, 0, 0, 2);
+        let mut seen = std::collections::HashSet::new();
+        for f in 0..64 {
+            let p1 = r.route(dst, FlowId(f), PortId(0));
+            let p2 = r.route(dst, FlowId(f), PortId(0));
+            assert_eq!(p1, p2, "same flow must always hash to the same port");
+            seen.insert(p1);
+        }
+        assert!(seen.len() >= 3, "64 flows should cover most of 4 ports");
+    }
+}

@@ -1,0 +1,182 @@
+//! Per-link-direction statistics.
+//!
+//! Everything the evaluation needs from the network side: delivered bytes
+//! (→ Fig. 11 link utilization), mark/drop counts, and a time-weighted
+//! queue-depth average (→ buffer-occupancy claims).
+
+use xmp_des::{ByteSize, SimTime};
+
+/// Depth buckets for the occupancy histogram: `[0, 1, 2, 4, 8, 16, 32,
+/// 64, 128, ≥256)` packets — power-of-two edges cover the paper's
+/// 100-packet queues with useful resolution near K.
+pub const DEPTH_BUCKETS: [usize; 10] = [0, 1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// Counters for one link direction.
+#[derive(Debug, Default, Clone)]
+pub struct DirStats {
+    /// Packets accepted into the queue (marked or not).
+    pub enqueued: u64,
+    /// Packets CE-marked on arrival.
+    pub marked: u64,
+    /// Packets dropped by the queue discipline (incl. overflow).
+    pub dropped: u64,
+    /// Packets dropped by fault injection.
+    pub fault_dropped: u64,
+    /// Packets fully delivered to the far end.
+    pub delivered: u64,
+    /// Bytes fully delivered to the far end.
+    pub delivered_bytes: ByteSize,
+    /// Maximum observed queue depth (waiting + on-wire), packets.
+    pub max_depth: usize,
+    // Time-weighted queue depth accumulator.
+    depth_weighted_ns: u128,
+    // Time (ns) spent in each DEPTH_BUCKETS band.
+    depth_hist_ns: [u128; DEPTH_BUCKETS.len()],
+    last_sample: Option<(SimTime, usize)>,
+}
+
+fn bucket_of(depth: usize) -> usize {
+    DEPTH_BUCKETS
+        .iter()
+        .rposition(|&lo| depth >= lo)
+        .unwrap_or(0)
+}
+
+impl DirStats {
+    /// Record the queue depth at `now`; the previous depth is weighted by
+    /// the elapsed time since the last observation.
+    pub fn observe_backlog(&mut self, now: SimTime, depth: usize) {
+        if let Some((t0, d0)) = self.last_sample {
+            let dt = now.as_nanos().saturating_sub(t0.as_nanos());
+            self.depth_weighted_ns += dt as u128 * d0 as u128;
+            self.depth_hist_ns[bucket_of(d0)] += dt as u128;
+        }
+        self.max_depth = self.max_depth.max(depth);
+        self.last_sample = Some((now, depth));
+    }
+
+    /// Fraction of time (up to the last observation) the queue spent at a
+    /// depth of at least `depth` packets — e.g. `occupancy_at_least(K)` is
+    /// how often arrivals were being marked.
+    pub fn occupancy_at_least(&self, depth: usize) -> f64 {
+        let total: u128 = self.depth_hist_ns.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let from = bucket_of(depth);
+        let above: u128 = self.depth_hist_ns[from..].iter().sum();
+        above as f64 / total as f64
+    }
+
+    /// The time-weighted depth histogram as `(bucket lower edge, fraction
+    /// of time)` pairs.
+    pub fn depth_histogram(&self) -> Vec<(usize, f64)> {
+        let total: u128 = self.depth_hist_ns.iter().sum();
+        DEPTH_BUCKETS
+            .iter()
+            .zip(self.depth_hist_ns.iter())
+            .map(|(&lo, &ns)| {
+                let f = if total == 0 {
+                    0.0
+                } else {
+                    ns as f64 / total as f64
+                };
+                (lo, f)
+            })
+            .collect()
+    }
+
+    /// Time-weighted mean queue depth over `[0, now]`, in packets.
+    pub fn mean_depth(&self, now: SimTime) -> f64 {
+        let mut acc = self.depth_weighted_ns;
+        if let Some((t0, d0)) = self.last_sample {
+            let dt = now.as_nanos().saturating_sub(t0.as_nanos());
+            acc += dt as u128 * d0 as u128;
+        }
+        if now.as_nanos() == 0 {
+            0.0
+        } else {
+            acc as f64 / now.as_nanos() as f64
+        }
+    }
+
+    /// Utilization of a direction with capacity `bandwidth_bps` over `[0, dur]`.
+    pub fn utilization(&self, bandwidth_bps: u64, duration_ns: u64) -> f64 {
+        if bandwidth_bps == 0 || duration_ns == 0 {
+            return 0.0;
+        }
+        let sent_bits = self.delivered_bytes.as_bytes() as f64 * 8.0;
+        let cap_bits = bandwidth_bps as f64 * duration_ns as f64 / 1e9;
+        sent_bits / cap_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmp_des::SimDuration;
+
+    #[test]
+    fn mean_depth_time_weighted() {
+        let mut s = DirStats::default();
+        s.observe_backlog(SimTime::ZERO, 0);
+        s.observe_backlog(SimTime::from_micros(10), 10); // depth 0 for 10us
+        s.observe_backlog(SimTime::from_micros(20), 0); // depth 10 for 10us
+        // mean over [0, 20us] = (0*10 + 10*10)/20 = 5
+        assert!((s.mean_depth(SimTime::from_micros(20)) - 5.0).abs() < 1e-9);
+        assert_eq!(s.max_depth, 10);
+    }
+
+    #[test]
+    fn mean_depth_extends_last_sample() {
+        let mut s = DirStats::default();
+        s.observe_backlog(SimTime::ZERO, 4);
+        // Constant depth 4, never observed again: still 4 on average.
+        assert!((s.mean_depth(SimTime::from_millis(1)) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_mapping() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(100), 7);
+        assert_eq!(bucket_of(5000), 9);
+    }
+
+    #[test]
+    fn histogram_is_time_weighted() {
+        let mut s = DirStats::default();
+        s.observe_backlog(SimTime::ZERO, 0);
+        s.observe_backlog(SimTime::from_micros(30), 10); // depth 0 for 30us
+        s.observe_backlog(SimTime::from_micros(40), 0); // depth 10 for 10us
+        let h = s.depth_histogram();
+        let f0 = h.iter().find(|&&(lo, _)| lo == 0).unwrap().1;
+        let f8 = h.iter().find(|&&(lo, _)| lo == 8).unwrap().1;
+        assert!((f0 - 0.75).abs() < 1e-9, "f0={f0}");
+        assert!((f8 - 0.25).abs() < 1e-9, "f8={f8}");
+        assert!((s.occupancy_at_least(8) - 0.25).abs() < 1e-9);
+        assert!((s.occupancy_at_least(0) - 1.0).abs() < 1e-9);
+        assert_eq!(s.occupancy_at_least(128), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let s = DirStats::default();
+        assert_eq!(s.occupancy_at_least(1), 0.0);
+        assert!(s.depth_histogram().iter().all(|&(_, f)| f == 0.0));
+    }
+
+    #[test]
+    fn utilization_full_link() {
+        // 1 Gbps for 1 ms = 125_000 bytes.
+        let s = DirStats {
+            delivered_bytes: ByteSize::from_bytes(125_000),
+            ..DirStats::default()
+        };
+        let u = s.utilization(1_000_000_000, SimDuration::from_millis(1).as_nanos());
+        assert!((u - 1.0).abs() < 1e-9);
+        assert_eq!(s.utilization(0, 1), 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Packet-event tracing (the simulator's analogue of smoltcp's `--pcap`).
+//!
+//! A [`TraceBuffer`] records per-link packet events — enqueue, mark, drop,
+//! delivery — into a bounded ring buffer that can be filtered and rendered
+//! as text. Tracing is opt-in per [`Sim`](crate::Sim) via
+//! [`Sim::enable_trace`](crate::Sim::enable_trace) and costs nothing when
+//! disabled.
+
+use crate::link::LinkId;
+use crate::packet::FlowId;
+use std::collections::VecDeque;
+use std::fmt;
+use xmp_des::SimTime;
+
+/// What happened to a packet at a link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Accepted into the queue unmarked.
+    Enqueue,
+    /// Accepted and CE-marked.
+    Mark,
+    /// Dropped by the queue discipline (overflow or early drop).
+    Drop,
+    /// Dropped by fault injection.
+    FaultDrop,
+    /// Delivered to the far end.
+    Deliver,
+}
+
+impl TraceKind {
+    fn glyph(self) -> &'static str {
+        match self {
+            TraceKind::Enqueue => "+",
+            TraceKind::Mark => "M",
+            TraceKind::Drop => "X",
+            TraceKind::FaultDrop => "F",
+            TraceKind::Deliver => ">",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// Which link.
+    pub link: LinkId,
+    /// Which direction (0 = a→b).
+    pub dir: u8,
+    /// What happened.
+    pub kind: TraceKind,
+    /// The packet's flow.
+    pub flow: FlowId,
+    /// The packet's wire size in bytes.
+    pub size: u64,
+    /// Queue backlog right after the event (packets).
+    pub backlog: usize,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>12} {} {:?}.{} {:?} {}B q={}",
+            self.at.as_nanos(),
+            self.kind.glyph(),
+            self.link,
+            self.dir,
+            self.flow,
+            self.size,
+            self.backlog
+        )
+    }
+}
+
+/// Bounded ring buffer of trace events.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    recorded: u64,
+    /// Restrict recording to one link, if set.
+    pub only_link: Option<LinkId>,
+    /// Restrict recording to one flow, if set.
+    pub only_flow: Option<FlowId>,
+}
+
+impl TraceBuffer {
+    /// A buffer holding the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        TraceBuffer {
+            events: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            recorded: 0,
+            only_link: None,
+            only_flow: None,
+        }
+    }
+
+    /// Record an event (applies the filters; evicts the oldest on overflow).
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.only_link.is_some_and(|l| l != ev.link) {
+            return;
+        }
+        if self.only_flow.is_some_and(|f| f != ev.flow) {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(ev);
+        self.recorded += 1;
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events recorded (including evicted ones).
+    pub fn recorded_total(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Render the retained events as text, one per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ns: u64, link: u32, flow: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_nanos(ns),
+            link: LinkId(link),
+            dir: 0,
+            kind,
+            flow: FlowId(flow),
+            size: 1500,
+            backlog: 3,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = TraceBuffer::new(3);
+        for i in 0..5 {
+            t.record(ev(i, 0, 1, TraceKind::Enqueue));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.recorded_total(), 5);
+        let first = t.events().next().unwrap();
+        assert_eq!(first.at.as_nanos(), 2);
+    }
+
+    #[test]
+    fn filters_apply() {
+        let mut t = TraceBuffer::new(10);
+        t.only_link = Some(LinkId(7));
+        t.only_flow = Some(FlowId(42));
+        t.record(ev(1, 7, 42, TraceKind::Mark)); // kept
+        t.record(ev(2, 8, 42, TraceKind::Mark)); // wrong link
+        t.record(ev(3, 7, 43, TraceKind::Mark)); // wrong flow
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let mut t = TraceBuffer::new(4);
+        t.record(ev(12_000, 1, 9, TraceKind::Mark));
+        t.record(ev(13_000, 1, 9, TraceKind::Deliver));
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("M l1.0 flow#9 1500B q=3"), "{s}");
+        assert!(s.contains("> l1.0"), "{s}");
+    }
+}

@@ -1,0 +1,382 @@
+//! The five-bottleneck ring of Fig. 5, used for the rate-compensation
+//! experiment (Fig. 7).
+//!
+//! Five bottleneck links L1..L5 with capacities 0.8 / 1.2 / 2 / 1.5 /
+//! 0.5 Gbps. Five MPTCP flows; flow *i* (1-based) places one subflow on
+//! L_i and one on L_{i+1} (mod 5), so consecutive flows share a bottleneck
+//! and a congestion event on one link ripples around the ring with
+//! attenuation ("attenuated Dominos"). A background host pair sits on L3
+//! to create the paper's 25–45 s congestion epoch; L3 can be "closed" at
+//! 60 s via [`Sim::set_link_drop_prob`].
+//!
+//! Every path's no-load RTT is 350 µs (paper Section 5.1); per-link BDPs
+//! range from ~15 packets (L5) to ~58 (L3).
+
+use xmp_des::{Bandwidth, SimDuration};
+use xmp_netsim::network::Payload;
+use xmp_netsim::routing::StaticRouter;
+use xmp_netsim::{Addr, Agent, LinkId, LinkParams, NodeId, PortId, QdiscConfig, Sim};
+
+use crate::testbed::Path;
+
+/// Number of bottlenecks / flows in the ring.
+pub const RING: usize = 5;
+
+/// Paper capacities of L1..L5 in Gbps.
+pub const CAPACITIES_GBPS: [f64; RING] = [0.8, 1.2, 2.0, 1.5, 0.5];
+
+/// Construction parameters.
+#[derive(Clone, Debug)]
+pub struct TorusConfig {
+    /// Marking threshold K on the bottlenecks (paper: 20/15/10 for
+    /// β = 4/5/6).
+    pub k: usize,
+    /// Bottleneck queue capacity (paper: 100).
+    pub queue_cap: usize,
+    /// No-load round-trip time of every path (paper: 350 µs).
+    pub rtt: SimDuration,
+}
+
+impl Default for TorusConfig {
+    fn default() -> Self {
+        TorusConfig {
+            k: 20,
+            queue_cap: 100,
+            rtt: SimDuration::from_micros(350),
+        }
+    }
+}
+
+/// The built ring.
+#[derive(Debug)]
+pub struct Torus {
+    /// Source host of flow `i`.
+    pub src: [NodeId; RING],
+    /// Destination host of flow `i`.
+    pub dst: [NodeId; RING],
+    /// Background source/destination (attached to L3).
+    pub bg_src: NodeId,
+    /// Background destination.
+    pub bg_dst: NodeId,
+    /// Bottleneck links L1..L5 (direction 0 carries the flows).
+    pub bottlenecks: [LinkId; RING],
+}
+
+impl Torus {
+    /// Build the ring. `host_factory(i)` is called for the 12 hosts in the
+    /// order S1..S5, D1..D5, BgS, BgD.
+    pub fn build<P: Payload>(
+        sim: &mut Sim<P>,
+        cfg: &TorusConfig,
+        mut host_factory: impl FnMut(usize) -> Box<dyn Agent<P>>,
+    ) -> Torus {
+        // One-way budget rtt/2 split as access + bottleneck + access
+        // (e.g. 50 + 75 + 50 µs for the paper's 350 µs RTT).
+        let access_delay = cfg.rtt / 7;
+        let access = LinkParams::new(
+            Bandwidth::from_gbps(10),
+            access_delay,
+            QdiscConfig::DropTail { cap: 10_000 },
+        );
+        let bneck_delay = cfg.rtt / 2 - access_delay * 2;
+
+        // Switch pair per bottleneck; bottleneck is port 0 on each.
+        let mut swa = Vec::with_capacity(RING);
+        let mut swb = Vec::with_capacity(RING);
+        let mut bottlenecks = Vec::with_capacity(RING);
+        #[allow(clippy::needless_range_loop)] // j also derives labels
+        for j in 0..RING {
+            let a = sim.add_switch(format!("SwA{}", j + 1), Box::new(StaticRouter::new()));
+            let b = sim.add_switch(format!("SwB{}", j + 1), Box::new(StaticRouter::new()));
+            let params = LinkParams::new(
+                Bandwidth::from_gbps_f64(CAPACITIES_GBPS[j]),
+                bneck_delay,
+                QdiscConfig::EcnThreshold {
+                    cap: cfg.queue_cap,
+                    k: cfg.k,
+                },
+            );
+            bottlenecks.push(sim.connect(a, b, &params, format!("L{}", j + 1)));
+            swa.push(a);
+            swb.push(b);
+        }
+
+        let mut routers_a: Vec<StaticRouter> = (0..RING).map(|_| StaticRouter::new()).collect();
+        let mut routers_b: Vec<StaticRouter> = (0..RING).map(|_| StaticRouter::new()).collect();
+
+        // Hosts.
+        let mut idx = 0;
+        let mut hosts = |sim: &mut Sim<P>, name: String| {
+            let n = sim.add_host(name, host_factory(idx));
+            idx += 1;
+            n
+        };
+        let src: Vec<NodeId> = (0..RING)
+            .map(|i| hosts(sim, format!("S{}", i + 1)))
+            .collect();
+        let dst: Vec<NodeId> = (0..RING)
+            .map(|i| hosts(sim, format!("D{}", i + 1)))
+            .collect();
+        let bg_src = hosts(sim, "BgS".into());
+        let bg_dst = hosts(sim, "BgD".into());
+
+        // Wire flow i's two paths: x = 0 over L_i, x = 1 over L_{i+1}.
+        for i in 0..RING {
+            for x in 0..2 {
+                let j = (i + x) % RING;
+                let s_addr = Self::src_addr(i, x);
+                let d_addr = Self::dst_addr(i, x);
+                // Source side.
+                sim.connect(src[i], swa[j], &access, format!("acc-S{}-{}", i + 1, x));
+                let pa = PortId((sim.node(swa[j]).port_count() - 1) as u16);
+                routers_a[j] = std::mem::take(&mut routers_a[j])
+                    .to(s_addr, pa)
+                    .to(d_addr, PortId(0));
+                // Destination side.
+                sim.connect(dst[i], swb[j], &access, format!("acc-D{}-{}", i + 1, x));
+                let pb = PortId((sim.node(swb[j]).port_count() - 1) as u16);
+                routers_b[j] = std::mem::take(&mut routers_b[j])
+                    .to(d_addr, pb)
+                    .to(s_addr, PortId(0));
+                sim.bind_addr(s_addr, src[i]);
+                sim.bind_addr(d_addr, dst[i]);
+            }
+        }
+        // Background pair on L3 (index 2).
+        let j = 2;
+        sim.connect(bg_src, swa[j], &access, "acc-BgS");
+        let pa = PortId((sim.node(swa[j]).port_count() - 1) as u16);
+        sim.connect(bg_dst, swb[j], &access, "acc-BgD");
+        let pb = PortId((sim.node(swb[j]).port_count() - 1) as u16);
+        let (bs, bd) = (Self::bg_src_addr(), Self::bg_dst_addr());
+        routers_a[j] = std::mem::take(&mut routers_a[j])
+            .to(bs, pa)
+            .to(bd, PortId(0));
+        routers_b[j] = std::mem::take(&mut routers_b[j])
+            .to(bd, pb)
+            .to(bs, PortId(0));
+        sim.bind_addr(bs, bg_src);
+        sim.bind_addr(bd, bg_dst);
+
+        for j in 0..RING {
+            sim.set_router(swa[j], Box::new(std::mem::take(&mut routers_a[j])));
+            sim.set_router(swb[j], Box::new(std::mem::take(&mut routers_b[j])));
+        }
+
+        Torus {
+            src: src.try_into().unwrap(),
+            dst: dst.try_into().unwrap(),
+            bg_src,
+            bg_dst,
+            bottlenecks: bottlenecks.try_into().unwrap(),
+        }
+    }
+
+    /// Source address of flow `i` on path `x` (0 = via L_{i+1-1}, 1 = next).
+    pub fn src_addr(i: usize, x: usize) -> Addr {
+        Addr::new(10, (i + 1) as u8, x as u8, 1)
+    }
+
+    /// Destination address of flow `i` on path `x`.
+    pub fn dst_addr(i: usize, x: usize) -> Addr {
+        Addr::new(10, (i + 1) as u8, x as u8, 2)
+    }
+
+    /// Background pair addresses.
+    pub fn bg_src_addr() -> Addr {
+        Addr::new(10, 9, 0, 1)
+    }
+
+    /// Background destination address.
+    pub fn bg_dst_addr() -> Addr {
+        Addr::new(10, 9, 0, 2)
+    }
+
+    /// Flow `i`'s two subflow paths. Subflow 0 rides L_{i+1} (1-based
+    /// numbering: flow i+1's "left" bottleneck), subflow 1 rides the next
+    /// bottleneck around the ring.
+    pub fn flow_paths(&self, i: usize) -> [Path; 2] {
+        [
+            Path {
+                port: PortId(0),
+                src: Self::src_addr(i, 0),
+                dst: Self::dst_addr(i, 0),
+            },
+            Path {
+                port: PortId(1),
+                src: Self::src_addr(i, 1),
+                dst: Self::dst_addr(i, 1),
+            },
+        ]
+    }
+
+    /// The background path over L3.
+    pub fn bg_path(&self) -> Path {
+        Path {
+            port: PortId(0),
+            src: Self::bg_src_addr(),
+            dst: Self::bg_dst_addr(),
+        }
+    }
+
+    /// The bottleneck link carrying flow `i`'s subflow `x`.
+    pub fn bottleneck_of(&self, i: usize, x: usize) -> LinkId {
+        self.bottlenecks[(i + x) % RING]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+    use xmp_des::{ByteSize, SimTime};
+    use xmp_netsim::{Ctx, Ecn, FlowId, Packet};
+
+    #[derive(Default)]
+    struct Probe {
+        got: Vec<Addr>,
+    }
+    impl Agent<u32> for Probe {
+        fn on_packet(&mut self, p: Packet<u32>, _port: PortId, _c: &mut Ctx<'_, u32>) {
+            self.got.push(p.dst);
+        }
+        fn on_timer(&mut self, _t: u64, _c: &mut Ctx<'_, u32>) {}
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn build(sim: &mut Sim<u32>) -> Torus {
+        Torus::build(sim, &TorusConfig::default(), |_| Box::<Probe>::default())
+    }
+
+    #[test]
+    fn capacities_match_paper() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        let t = build(&mut sim);
+        let got: Vec<f64> = t
+            .bottlenecks
+            .iter()
+            .map(|&l| sim.link(l).bandwidth.as_gbps_f64())
+            .collect();
+        assert_eq!(got, CAPACITIES_GBPS.to_vec());
+    }
+
+    #[test]
+    fn every_subflow_path_delivers_over_its_bottleneck() {
+        for i in 0..RING {
+            for x in 0..2 {
+                let mut sim: Sim<u32> = Sim::new(1);
+                let t = build(&mut sim);
+                let path = t.flow_paths(i)[x];
+                sim.with_agent::<Probe, _>(t.src[i], |_, ctx| {
+                    ctx.send(
+                        path.port,
+                        Packet::new(
+                            path.src,
+                            path.dst,
+                            FlowId(1),
+                            Ecn::NotEct,
+                            ByteSize::from_bytes(1500),
+                            0,
+                        ),
+                    );
+                });
+                sim.run_until_quiet(SimTime::from_millis(10));
+                assert_eq!(
+                    sim.with_agent::<Probe, _>(t.dst[i], |p, _| p.got.len()),
+                    1,
+                    "flow {i} path {x}"
+                );
+                let l = t.bottleneck_of(i, x);
+                assert_eq!(
+                    sim.link(l).dir(0).stats.delivered,
+                    1,
+                    "flow {i} path {x} must cross L{}",
+                    (i + x) % RING + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_flows_share_a_bottleneck() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        let t = build(&mut sim);
+        for i in 0..RING {
+            assert_eq!(t.bottleneck_of(i, 1), t.bottleneck_of((i + 1) % RING, 0));
+        }
+    }
+
+    #[test]
+    fn rtt_is_350us() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        let t = build(&mut sim);
+        let path = t.flow_paths(0)[0];
+        sim.with_agent::<Probe, _>(t.src[0], |_, ctx| {
+            ctx.send(
+                path.port,
+                Packet::new(
+                    path.src,
+                    path.dst,
+                    FlowId(1),
+                    Ecn::NotEct,
+                    ByteSize::from_bytes(40),
+                    0,
+                ),
+            );
+        });
+        sim.run_until_quiet(SimTime::from_millis(10));
+        // One small packet one way ~ rtt/2 (serialization negligible).
+        let one_way = sim.now().as_micros();
+        assert!((170..182).contains(&one_way), "one-way {one_way}us");
+    }
+
+    #[test]
+    fn closing_l3_blackholes_it() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        let t = build(&mut sim);
+        sim.set_link_drop_prob(t.bottlenecks[2], 1.0);
+        // Flow 2 (index 1) path 1 rides L3.
+        let path = t.flow_paths(1)[1];
+        sim.with_agent::<Probe, _>(t.src[1], |_, ctx| {
+            ctx.send(
+                path.port,
+                Packet::new(
+                    path.src,
+                    path.dst,
+                    FlowId(1),
+                    Ecn::NotEct,
+                    ByteSize::from_bytes(1500),
+                    0,
+                ),
+            );
+        });
+        sim.run_until_quiet(SimTime::from_millis(10));
+        assert_eq!(sim.with_agent::<Probe, _>(t.dst[1], |p, _| p.got.len()), 0);
+        assert_eq!(sim.link(t.bottlenecks[2]).dir(0).stats.fault_dropped, 1);
+    }
+
+    #[test]
+    fn bg_path_rides_l3() {
+        let mut sim: Sim<u32> = Sim::new(1);
+        let t = build(&mut sim);
+        let path = t.bg_path();
+        sim.with_agent::<Probe, _>(t.bg_src, |_, ctx| {
+            ctx.send(
+                path.port,
+                Packet::new(
+                    path.src,
+                    path.dst,
+                    FlowId(1),
+                    Ecn::NotEct,
+                    ByteSize::from_bytes(1500),
+                    0,
+                ),
+            );
+        });
+        sim.run_until_quiet(SimTime::from_millis(10));
+        assert_eq!(sim.link(t.bottlenecks[2]).dir(0).stats.delivered, 1);
+        assert_eq!(sim.with_agent::<Probe, _>(t.bg_dst, |p, _| p.got.len()), 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! DCTCP (Alizadeh et al., SIGCOMM 2010) — the paper's strongest
+//! single-path baseline.
+//!
+//! The sender keeps a per-window estimate α of the fraction of marked
+//! packets (EWMA with gain `g`) and, once per window of data in which marks
+//! were seen, cuts `cwnd ← cwnd·(1 − α/2)`. Growth outside marked windows is
+//! standard slow start / congestion avoidance. Our receivers report the
+//! exact marked/covered counts per ACK, the idealized form of DCTCP's
+//! one-bit state machine (the paper notes DCTCP must *infer* these counts —
+//! XMP's 2-bit encoding makes them exact; giving DCTCP exact counts is
+//! strictly charitable to the baseline).
+
+use super::{reno_growth, AckInfo, CongestionControl, SubflowCc, MIN_CWND};
+use crate::segment::EchoMode;
+
+/// Default EWMA gain `g = 1/16` from the DCTCP paper.
+pub const DEFAULT_G: f64 = 1.0 / 16.0;
+
+#[derive(Debug, Clone)]
+struct PerSubflow {
+    alpha: f64,
+    /// Marked segments observed in the current window.
+    marked: u64,
+    /// Total segments covered in the current window.
+    total: u64,
+    /// Sequence number ending the current observation window.
+    window_end: u64,
+    /// Sequence number until which further cuts are suppressed (CWR window).
+    cwr_end: u64,
+    /// Whether a cut is pending for this window.
+    saw_mark: bool,
+}
+
+impl PerSubflow {
+    fn new() -> Self {
+        PerSubflow {
+            alpha: 1.0, // conservative initial estimate, as in Linux dctcp
+            marked: 0,
+            total: 0,
+            window_end: 0,
+            cwr_end: 0,
+            saw_mark: false,
+        }
+    }
+}
+
+/// DCTCP congestion control.
+#[derive(Debug)]
+pub struct Dctcp {
+    g: f64,
+    subs: Vec<PerSubflow>,
+}
+
+impl Dctcp {
+    /// DCTCP with the standard gain `g = 1/16`.
+    pub fn new() -> Self {
+        Self::with_gain(DEFAULT_G)
+    }
+
+    /// DCTCP with an explicit EWMA gain.
+    pub fn with_gain(g: f64) -> Self {
+        assert!((0.0..=1.0).contains(&g) && g > 0.0, "gain must be in (0,1]");
+        Dctcp {
+            g,
+            subs: vec![PerSubflow::new()],
+        }
+    }
+
+    /// Current α estimate for subflow `r` (test/analysis hook).
+    pub fn alpha(&self, r: usize) -> f64 {
+        self.subs[r].alpha
+    }
+}
+
+impl Default for Dctcp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Dctcp {
+    fn init(&mut self, n: usize) {
+        self.subs = (0..n).map(|_| PerSubflow::new()).collect();
+    }
+
+    fn on_subflow_added(&mut self) {
+        self.subs.push(PerSubflow::new());
+    }
+
+    fn echo_mode(&self) -> EchoMode {
+        EchoMode::Dctcp
+    }
+
+    fn on_ack(&mut self, r: usize, info: &AckInfo, view: &mut [SubflowCc]) {
+        let s = &mut self.subs[r];
+        let sub = &mut view[r];
+
+        // Account the fraction estimate inputs.
+        s.total += u64::from(info.covered.max(info.ce_count));
+        s.marked += u64::from(info.ce_count);
+
+        // Immediate reaction to marks: one cut per window (CWR suppression),
+        // exactly like the reference implementation.
+        if info.ce_count > 0 {
+            s.saw_mark = true;
+            if info.ack_seq >= s.cwr_end {
+                if sub.in_slow_start() {
+                    // First mark ends slow start.
+                    sub.ssthresh = (sub.cwnd - 1.0).max(MIN_CWND);
+                }
+                sub.cwnd = (sub.cwnd * (1.0 - s.alpha / 2.0)).max(MIN_CWND);
+                sub.ssthresh = sub.cwnd.max(MIN_CWND);
+                s.cwr_end = sub.snd_nxt;
+            }
+        } else {
+            reno_growth(sub, info);
+        }
+
+        // End of observation window: fold the fraction into alpha.
+        if info.ack_seq >= s.window_end {
+            let f = if s.total > 0 {
+                (s.marked as f64 / s.total as f64).min(1.0)
+            } else {
+                0.0
+            };
+            s.alpha = (1.0 - self.g) * s.alpha + self.g * f;
+            s.marked = 0;
+            s.total = 0;
+            s.window_end = sub.snd_nxt;
+            s.saw_mark = false;
+        }
+    }
+
+    fn ssthresh_on_loss(&mut self, r: usize, view: &[SubflowCc]) -> f64 {
+        // Packet loss falls back to the TCP halving response.
+        (view[r].cwnd / 2.0).max(MIN_CWND)
+    }
+
+    fn on_rto(&mut self, r: usize, _view: &mut [SubflowCc]) {
+        let s = &mut self.subs[r];
+        s.marked = 0;
+        s.total = 0;
+        s.saw_mark = false;
+        s.cwr_end = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "DCTCP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::test_ack;
+
+    fn view(cwnd: f64, ssthresh: f64, snd_nxt: u64) -> Vec<SubflowCc> {
+        let mut s = SubflowCc::new(cwnd);
+        s.ssthresh = ssthresh;
+        s.snd_nxt = snd_nxt;
+        vec![s]
+    }
+
+    #[test]
+    fn alpha_converges_to_mark_fraction() {
+        let mut cc = Dctcp::new();
+        cc.init(1);
+        let mut v = view(10.0, 1.0, 0);
+        // Repeated windows where half the packets are marked.
+        for w in 0..400u64 {
+            v[0].snd_nxt = (w + 1) * 14600;
+            let mut info = test_ack(1460, if w % 2 == 0 { 1 } else { 0 }, 2);
+            info.ack_seq = w * 14600 + 14600;
+            cc.on_ack(0, &info, &mut v);
+        }
+        // One of every four covered packets is marked.
+        let a = cc.alpha(0);
+        assert!((0.15..0.35).contains(&a), "alpha={a}");
+    }
+
+    #[test]
+    fn clean_windows_drive_alpha_to_zero() {
+        let mut cc = Dctcp::new();
+        cc.init(1);
+        let mut v = view(10.0, 1.0, 0);
+        for w in 0..200u64 {
+            v[0].snd_nxt = (w + 1) * 14600;
+            let mut info = test_ack(1460, 0, 2);
+            info.ack_seq = w * 14600 + 14600;
+            cc.on_ack(0, &info, &mut v);
+        }
+        assert!(cc.alpha(0) < 0.01);
+    }
+
+    #[test]
+    fn cut_is_proportional_to_alpha_and_once_per_window() {
+        let mut cc = Dctcp::new();
+        cc.init(1);
+        cc.subs[0].alpha = 0.5;
+        cc.subs[0].window_end = u64::MAX; // freeze alpha for the test
+        let mut v = view(20.0, 1.0, 29200);
+        let mut info = test_ack(1460, 1, 1);
+        info.ack_seq = 1460;
+        cc.on_ack(0, &info, &mut v);
+        // cwnd * (1 - 0.5/2) = 15
+        assert!((v[0].cwnd - 15.0).abs() < 1e-9, "cwnd={}", v[0].cwnd);
+        // A second marked ACK inside the CWR window must not cut again.
+        let mut info2 = test_ack(1460, 1, 1);
+        info2.ack_seq = 2920;
+        cc.on_ack(0, &info2, &mut v);
+        assert!((v[0].cwnd - 15.0).abs() < 1e-9);
+        // …but one past it does.
+        let mut info3 = test_ack(1460, 1, 1);
+        info3.ack_seq = 29200;
+        v[0].snd_nxt = 60000;
+        cc.on_ack(0, &info3, &mut v);
+        assert!(v[0].cwnd < 15.0);
+    }
+
+    #[test]
+    fn first_mark_exits_slow_start() {
+        let mut cc = Dctcp::new();
+        cc.init(1);
+        let mut v = view(30.0, f64::INFINITY, 43800);
+        assert!(v[0].in_slow_start());
+        let mut info = test_ack(1460, 1, 1);
+        info.ack_seq = 1460;
+        cc.on_ack(0, &info, &mut v);
+        assert!(!v[0].in_slow_start());
+    }
+
+    #[test]
+    fn cwnd_never_below_floor() {
+        let mut cc = Dctcp::new();
+        cc.init(1);
+        cc.subs[0].alpha = 1.0;
+        let mut v = view(2.0, 1.0, 2920);
+        let mut info = test_ack(1460, 1, 1);
+        info.ack_seq = 1460;
+        cc.on_ack(0, &info, &mut v);
+        assert!(v[0].cwnd >= MIN_CWND);
+    }
+}

@@ -1,0 +1,147 @@
+//! LIA — MPTCP's Linked Increases Algorithm (RFC 6356 / Wischik et al.,
+//! NSDI 2011). The paper's multipath baseline.
+//!
+//! Congestion-avoidance increase on subflow r per acked MSS:
+//! `min(α / cwnd_total, 1 / cwnd_r)` where
+//!
+//! ```text
+//!        cwnd_total · max_r (cwnd_r / rtt_r²)
+//! α  =  ──────────────────────────────────────
+//!            ( Σ_r cwnd_r / rtt_r )²
+//! ```
+//!
+//! Loss response is TCP's halving (per subflow). LIA is Reno-based and not
+//! ECN-capable, so in an ECN-marking network its packets are only dropped
+//! at queue overflow — exactly the paper's setup, which is why LIA fills
+//! buffers and suffers 200 ms RTO stalls.
+
+use super::{AckInfo, CongestionControl, SubflowCc, MIN_CWND};
+use crate::segment::EchoMode;
+
+/// The LIA coupled controller.
+#[derive(Debug, Default)]
+pub struct Lia;
+
+impl Lia {
+    /// A LIA controller.
+    pub fn new() -> Self {
+        Lia
+    }
+
+    /// Compute the α coupling factor for the current subflow states.
+    /// Subflows without an RTT estimate yet are skipped; if none have one,
+    /// α falls back to 1 (uncoupled).
+    pub fn alpha(view: &[SubflowCc]) -> f64 {
+        let mut cwnd_total = 0.0;
+        let mut best = 0.0_f64;
+        let mut denom = 0.0;
+        for s in view {
+            cwnd_total += s.cwnd;
+            if let Some(rtt) = s.srtt {
+                let rtt = rtt.as_secs_f64().max(1e-9);
+                best = best.max(s.cwnd / (rtt * rtt));
+                denom += s.cwnd / rtt;
+            }
+        }
+        if denom <= 0.0 {
+            return 1.0;
+        }
+        (cwnd_total * best / (denom * denom)).max(f64::MIN_POSITIVE)
+    }
+}
+
+impl CongestionControl for Lia {
+    fn echo_mode(&self) -> EchoMode {
+        EchoMode::None
+    }
+
+    fn on_ack(&mut self, r: usize, info: &AckInfo, view: &mut [SubflowCc]) {
+        if info.newly_acked == 0 {
+            return;
+        }
+        let acked_pkts = info.newly_acked as f64 / info.mss as f64;
+        if view[r].in_slow_start() {
+            // Slow start is uncoupled (RFC 6356 §3).
+            view[r].cwnd += acked_pkts;
+            return;
+        }
+        let alpha = Self::alpha(view);
+        let cwnd_total: f64 = view.iter().map(|s| s.cwnd).sum();
+        let inc = (alpha / cwnd_total).min(1.0 / view[r].cwnd);
+        view[r].cwnd += acked_pkts * inc;
+    }
+
+    fn ssthresh_on_loss(&mut self, r: usize, view: &[SubflowCc]) -> f64 {
+        (view[r].cwnd / 2.0).max(MIN_CWND)
+    }
+
+    fn name(&self) -> &'static str {
+        "LIA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::test_ack;
+    use xmp_des::SimDuration;
+
+    fn sub(cwnd: f64, rtt_us: u64) -> SubflowCc {
+        let mut s = SubflowCc::new(cwnd);
+        s.ssthresh = 1.0; // force congestion avoidance
+        s.srtt = Some(SimDuration::from_micros(rtt_us));
+        s
+    }
+
+    #[test]
+    fn single_path_alpha_is_one() {
+        // With one subflow LIA must degenerate to Reno: alpha == cwnd_total
+        // * (w/rtt^2) / (w/rtt)^2 == 1, so increase == 1/cwnd.
+        let v = vec![sub(10.0, 200)];
+        assert!((Lia::alpha(&v) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_paths_split_the_reno_increase() {
+        // Two identical subflows: alpha = 2w * (w/r^2) / (2w/r)^2 = 1/2.
+        let v = vec![sub(10.0, 200), sub(10.0, 200)];
+        assert!((Lia::alpha(&v) - 0.5).abs() < 1e-9);
+        // Increase per acked pkt: min(alpha/total, 1/w) = 0.5/20 = 0.025 —
+        // half the rate a lone Reno flow (1/10) would grow per subflow.
+        let mut cc = Lia::new();
+        let mut v = v;
+        let before = v[0].cwnd;
+        cc.on_ack(0, &test_ack(1460, 0, 1), &mut v);
+        assert!((v[0].cwnd - before - 0.025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn increase_capped_by_reno() {
+        // A tiny subflow next to a huge one must not outgrow standalone Reno.
+        let v = vec![sub(2.0, 100), sub(100.0, 10_000)];
+        let alpha = Lia::alpha(&v);
+        let total = 102.0;
+        let inc = (alpha / total).min(1.0 / 2.0);
+        assert!(inc <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn alpha_without_rtt_falls_back() {
+        let mut s = SubflowCc::new(10.0);
+        s.ssthresh = 1.0;
+        assert!((Lia::alpha(&[s]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_start_is_uncoupled() {
+        let mut cc = Lia::new();
+        let mut v = vec![SubflowCc::new(4.0), sub(10.0, 200)];
+        cc.on_ack(0, &test_ack(1460, 0, 1), &mut v);
+        assert!((v[0].cwnd - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn not_ecn_capable() {
+        assert_eq!(Lia::new().echo_mode(), EchoMode::None);
+    }
+}

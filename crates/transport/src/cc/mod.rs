@@ -1,0 +1,201 @@
+//! Congestion control interface.
+//!
+//! The sender machinery (connection establishment, loss detection, fast
+//! retransmit/recovery, RTO) is algorithm-independent; the algorithm plugs
+//! in through [`CongestionControl`]. The trait is **multipath-aware**: every
+//! callback names the subflow it concerns and receives a view of *all*
+//! subflows, which is what lets coupled controllers (LIA here, XMP in
+//! `xmp-core`) link their subflows' windows. Single-path algorithms simply
+//! ignore the rest of the view.
+//!
+//! Window units are **packets** (MSS multiples), matching the paper.
+
+mod dctcp;
+mod lia;
+mod olia;
+mod reno;
+
+pub use dctcp::Dctcp;
+pub use lia::Lia;
+pub use olia::Olia;
+pub use reno::Reno;
+
+use crate::segment::EchoMode;
+use xmp_des::{SimDuration, SimTime};
+
+/// Minimum congestion window (packets) used by all algorithms after a cut.
+pub const MIN_CWND: f64 = 2.0;
+
+/// Per-subflow state shared between the sender machinery and the algorithm.
+/// The algorithm owns `cwnd`/`ssthresh`; the machinery keeps the rest fresh.
+#[derive(Debug, Clone)]
+pub struct SubflowCc {
+    /// Congestion window in packets. Owned by the CC algorithm.
+    pub cwnd: f64,
+    /// Slow-start threshold in packets. Owned by the CC algorithm.
+    pub ssthresh: f64,
+    /// Smoothed RTT of the subflow, if measured.
+    pub srtt: Option<SimDuration>,
+    /// Highest unacknowledged byte.
+    pub snd_una: u64,
+    /// Next byte to send.
+    pub snd_nxt: u64,
+    /// Whether the sender is in fast recovery on this subflow.
+    pub in_recovery: bool,
+}
+
+impl SubflowCc {
+    /// Fresh state with the given initial window.
+    pub fn new(initial_cwnd: f64) -> Self {
+        SubflowCc {
+            cwnd: initial_cwnd,
+            ssthresh: f64::INFINITY,
+            srtt: None,
+            snd_una: 0,
+            snd_nxt: 0,
+            in_recovery: false,
+        }
+    }
+
+    /// Whether the subflow is in slow start (`cwnd < ssthresh`, the Linux
+    /// convention; algorithms that cut set `ssthresh <= cwnd` to land in
+    /// congestion avoidance).
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// Instantaneous rate estimate `cwnd/srtt` in packets per second.
+    pub fn instant_rate(&self) -> Option<f64> {
+        self.srtt.map(|s| self.cwnd / s.as_secs_f64())
+    }
+}
+
+/// Everything an algorithm may want to know about one incoming ACK.
+#[derive(Debug, Clone, Copy)]
+pub struct AckInfo {
+    /// The cumulative acknowledgement number carried by the segment.
+    pub ack_seq: u64,
+    /// Bytes newly acknowledged by this segment (0 for duplicates).
+    pub newly_acked: u64,
+    /// CE marks echoed by the receiver in this segment (see
+    /// [`EchoMode`]).
+    pub ce_count: u8,
+    /// Data segments covered by this ACK (DCTCP's α denominator).
+    pub covered: u8,
+    /// RTT sample taken from this ACK, if any.
+    pub rtt_sample: Option<SimDuration>,
+    /// Current simulated time.
+    pub now: SimTime,
+    /// MSS in bytes.
+    pub mss: u32,
+}
+
+/// A pluggable congestion-control algorithm.
+pub trait CongestionControl: Send {
+    /// Called once when the connection opens with `n` subflows.
+    fn init(&mut self, n: usize) {
+        let _ = n;
+    }
+
+    /// A subflow was added at runtime (MPTCP join); controllers keeping
+    /// per-subflow state must grow it.
+    fn on_subflow_added(&mut self) {}
+
+    /// ECN feedback style this algorithm needs from receivers. Also decides
+    /// whether data packets are sent ECT.
+    fn echo_mode(&self) -> EchoMode;
+
+    /// A new (or duplicate) ACK arrived on subflow `r`, outside fast
+    /// recovery. The algorithm applies its window growth — and, for
+    /// ECN-driven algorithms, its reaction to `info.ce_count` — by mutating
+    /// `view[r].cwnd` / `view[r].ssthresh`.
+    fn on_ack(&mut self, r: usize, info: &AckInfo, view: &mut [SubflowCc]);
+
+    /// Packet loss detected on subflow `r` (entering fast retransmit).
+    /// Returns the new `ssthresh` (packets); the machinery handles the
+    /// recovery bookkeeping.
+    fn ssthresh_on_loss(&mut self, r: usize, view: &[SubflowCc]) -> f64;
+
+    /// Retransmission timeout fired on subflow `r` (the machinery has
+    /// already set `cwnd = 1`, `ssthresh = max(flight/2, 2)`); algorithms
+    /// may reset internal per-round state here.
+    fn on_rto(&mut self, r: usize, view: &mut [SubflowCc]) {
+        let _ = (r, view);
+    }
+
+    /// Human-readable name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Diagnostic: the observed per-round congestion probability on
+    /// subflow `r`, if the algorithm tracks rounds (XMP/BOS do — it is
+    /// the empirical form of the paper's p(t)).
+    fn observed_round_p(&self, r: usize) -> Option<f64> {
+        let _ = r;
+        None
+    }
+}
+
+/// Shared helper: standard slow-start + AIMD congestion-avoidance growth
+/// used by the uncoupled algorithms (per acked-MSS granularity).
+pub(crate) fn reno_growth(sub: &mut SubflowCc, info: &AckInfo) {
+    if info.newly_acked == 0 {
+        return;
+    }
+    let acked_pkts = (info.newly_acked as f64 / info.mss as f64).max(0.0);
+    if sub.in_slow_start() {
+        sub.cwnd += acked_pkts;
+    } else {
+        sub.cwnd += acked_pkts / sub.cwnd;
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_ack(newly_acked: u64, ce: u8, covered: u8) -> AckInfo {
+    AckInfo {
+        ack_seq: 0,
+        newly_acked,
+        ce_count: ce,
+        covered,
+        rtt_sample: None,
+        now: SimTime::ZERO,
+        mss: 1460,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_start_flag_uses_paper_convention() {
+        let mut s = SubflowCc::new(10.0);
+        assert!(s.in_slow_start()); // ssthresh = inf
+        s.ssthresh = 5.0;
+        assert!(!s.in_slow_start());
+        s.cwnd = 5.0;
+        assert!(!s.in_slow_start()); // cwnd == ssthresh is congestion avoidance
+        s.cwnd = 4.0;
+        assert!(s.in_slow_start());
+    }
+
+    #[test]
+    fn reno_growth_doubles_then_linear() {
+        let mut s = SubflowCc::new(2.0);
+        // Slow start: +1 per acked packet.
+        reno_growth(&mut s, &test_ack(1460, 0, 1));
+        assert!((s.cwnd - 3.0).abs() < 1e-9);
+        // Congestion avoidance: +1/cwnd per acked packet.
+        s.ssthresh = 2.0;
+        let before = s.cwnd;
+        reno_growth(&mut s, &test_ack(1460, 0, 1));
+        assert!((s.cwnd - (before + 1.0 / before)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instant_rate() {
+        let mut s = SubflowCc::new(10.0);
+        assert!(s.instant_rate().is_none());
+        s.srtt = Some(SimDuration::from_micros(100));
+        assert!((s.instant_rate().unwrap() - 100_000.0).abs() < 1.0);
+    }
+}

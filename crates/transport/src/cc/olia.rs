@@ -1,0 +1,217 @@
+//! OLIA — the Opportunistic Linked Increases Algorithm (Khalili et al.,
+//! CoNEXT 2012, "MPTCP is not Pareto-Optimal").
+//!
+//! The XMP paper's Section 7 notes that TraSh, like LIA, may inherit LIA's
+//! non-Pareto-optimality and points to Khalili et al.'s fix as future
+//! work; OLIA is included here as that extension baseline.
+//!
+//! Congestion-avoidance increase on subflow r per acked MSS:
+//!
+//! ```text
+//!          w_r / rtt_r²            α_r
+//!   ───────────────────────── + ───────
+//!    ( Σ_p w_p / rtt_p )²         w_r
+//! ```
+//!
+//! where the α adjustment moves window from the paths with the largest
+//! windows (`M`) to the currently best paths (`B`, by the
+//! `l_r²/rtt_r` criterion with `l_r` = bytes acked since the last loss):
+//! `α_r = 1/(n·|B∖M|)` for r ∈ B∖M, `−1/(n·|M|)` for r ∈ M when B∖M is
+//! non-empty, and 0 otherwise. Loss response is TCP halving.
+
+use super::{AckInfo, CongestionControl, SubflowCc, MIN_CWND};
+use crate::segment::EchoMode;
+
+/// Per-subflow OLIA bookkeeping.
+#[derive(Debug, Clone, Default)]
+struct PerSubflow {
+    /// Bytes acknowledged since the last loss on this subflow (`l_r`).
+    since_loss: u64,
+}
+
+/// The OLIA coupled controller.
+#[derive(Debug, Default)]
+pub struct Olia {
+    subs: Vec<PerSubflow>,
+}
+
+impl Olia {
+    /// An OLIA controller.
+    pub fn new() -> Self {
+        Olia { subs: Vec::new() }
+    }
+
+    /// Bytes acked since the last loss on subflow `r` (test hook).
+    pub fn since_loss(&self, r: usize) -> u64 {
+        self.subs.get(r).map_or(0, |s| s.since_loss)
+    }
+
+    /// The α adjustment vector for the current state.
+    fn alphas(&self, view: &[SubflowCc]) -> Vec<f64> {
+        let n = view.len();
+        let mut alphas = vec![0.0; n];
+        if n < 2 {
+            return alphas;
+        }
+        // M: paths with the (approximately) largest window.
+        let wmax = view.iter().map(|s| s.cwnd).fold(f64::MIN, f64::max);
+        let in_m: Vec<bool> = view.iter().map(|s| s.cwnd >= wmax - 1e-9).collect();
+        // B: best paths by l² / rtt.
+        let quality = |r: usize| {
+            let l = self.subs[r].since_loss as f64;
+            let rtt = view[r].srtt.map_or(1.0, |d| d.as_secs_f64().max(1e-9));
+            l * l / rtt
+        };
+        let qbest = (0..n).map(quality).fold(f64::MIN, f64::max);
+        let in_b: Vec<bool> = (0..n).map(|r| quality(r) >= qbest * (1.0 - 1e-9)).collect();
+        // B \ M.
+        let bm: Vec<usize> = (0..n).filter(|&r| in_b[r] && !in_m[r]).collect();
+        if bm.is_empty() {
+            return alphas; // collected best paths already have max windows
+        }
+        let m_count = in_m.iter().filter(|&&x| x).count();
+        for r in 0..n {
+            if bm.contains(&r) {
+                alphas[r] = 1.0 / (n as f64 * bm.len() as f64);
+            } else if in_m[r] {
+                alphas[r] = -1.0 / (n as f64 * m_count as f64);
+            }
+        }
+        alphas
+    }
+}
+
+impl CongestionControl for Olia {
+    fn init(&mut self, n: usize) {
+        self.subs = vec![PerSubflow::default(); n];
+    }
+
+    fn on_subflow_added(&mut self) {
+        self.subs.push(PerSubflow::default());
+    }
+
+    fn echo_mode(&self) -> EchoMode {
+        EchoMode::None
+    }
+
+    fn on_ack(&mut self, r: usize, info: &AckInfo, view: &mut [SubflowCc]) {
+        if info.newly_acked == 0 {
+            return;
+        }
+        self.subs[r].since_loss += info.newly_acked;
+        let acked_pkts = info.newly_acked as f64 / info.mss as f64;
+        if view[r].in_slow_start() {
+            view[r].cwnd += acked_pkts;
+            return;
+        }
+        let denom: f64 = view
+            .iter()
+            .filter_map(|s| {
+                s.srtt
+                    .map(|rtt| s.cwnd / rtt.as_secs_f64().max(1e-9))
+            })
+            .sum();
+        if denom <= 0.0 {
+            view[r].cwnd += acked_pkts / view[r].cwnd;
+            return;
+        }
+        let rtt_r = view[r].srtt.map_or(1.0, |d| d.as_secs_f64().max(1e-9));
+        let coupled = (view[r].cwnd / (rtt_r * rtt_r)) / (denom * denom);
+        let alpha = self.alphas(view)[r];
+        let inc = (coupled + alpha / view[r].cwnd).max(0.0);
+        // Cap at the standalone-TCP rate, like LIA.
+        view[r].cwnd += acked_pkts * inc.min(1.0 / view[r].cwnd);
+    }
+
+    fn ssthresh_on_loss(&mut self, r: usize, view: &[SubflowCc]) -> f64 {
+        self.subs[r].since_loss = 0;
+        (view[r].cwnd / 2.0).max(MIN_CWND)
+    }
+
+    fn on_rto(&mut self, r: usize, _view: &mut [SubflowCc]) {
+        self.subs[r].since_loss = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "OLIA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::test_ack;
+    use xmp_des::SimDuration;
+
+    fn sub(cwnd: f64, rtt_us: u64) -> SubflowCc {
+        let mut s = SubflowCc::new(cwnd);
+        s.ssthresh = 1.0;
+        s.srtt = Some(SimDuration::from_micros(rtt_us));
+        s
+    }
+
+    #[test]
+    fn single_path_degenerates_to_reno_rate() {
+        let mut cc = Olia::new();
+        cc.init(1);
+        let mut v = vec![sub(10.0, 200)];
+        let before = v[0].cwnd;
+        cc.on_ack(0, &test_ack(1460, 0, 1), &mut v);
+        // coupled = (w/rtt^2)/(w/rtt)^2 = 1/w; alpha = 0.
+        assert!((v[0].cwnd - before - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_resets_quality_and_halves() {
+        let mut cc = Olia::new();
+        cc.init(2);
+        let mut v = vec![sub(10.0, 200), sub(10.0, 200)];
+        cc.on_ack(0, &test_ack(14_600, 0, 1), &mut v);
+        assert_eq!(cc.since_loss(0), 14_600);
+        let ss = cc.ssthresh_on_loss(0, &v);
+        assert!((ss - v[0].cwnd / 2.0).abs() < 1e-9);
+        assert_eq!(cc.since_loss(0), 0);
+    }
+
+    #[test]
+    fn alpha_moves_window_towards_best_underused_path() {
+        let mut cc = Olia::new();
+        cc.init(2);
+        // Path 1 has the big window (M = {1}); path 0 is loss-free and
+        // best (B = {0}) — alpha must favour 0 and penalize 1.
+        cc.subs[0].since_loss = 1_000_000;
+        cc.subs[1].since_loss = 10_000;
+        let v = vec![sub(4.0, 200), sub(30.0, 200)];
+        let alphas = cc.alphas(&v);
+        assert!(alphas[0] > 0.0, "{alphas:?}");
+        assert!(alphas[1] < 0.0, "{alphas:?}");
+        assert!((alphas[0] + alphas[1]).abs() < 1e-12, "alphas sum to 0");
+    }
+
+    #[test]
+    fn alpha_zero_when_best_paths_have_max_windows() {
+        let mut cc = Olia::new();
+        cc.init(2);
+        cc.subs[0].since_loss = 1_000_000;
+        cc.subs[1].since_loss = 10;
+        // Path 0 is best AND has the max window: no transfer needed.
+        let v = vec![sub(30.0, 200), sub(4.0, 200)];
+        assert_eq!(cc.alphas(&v), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn increase_never_exceeds_reno() {
+        let mut cc = Olia::new();
+        cc.init(2);
+        cc.subs[0].since_loss = 1_000_000;
+        let mut v = vec![sub(2.0, 100), sub(50.0, 5_000)];
+        let before = v[0].cwnd;
+        cc.on_ack(0, &test_ack(1460, 0, 1), &mut v);
+        assert!(v[0].cwnd - before <= 1.0 / before + 1e-9);
+    }
+
+    #[test]
+    fn not_ecn_capable() {
+        assert_eq!(Olia::new().echo_mode(), EchoMode::None);
+    }
+}

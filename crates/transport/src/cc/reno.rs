@@ -1,0 +1,70 @@
+//! TCP NewReno congestion control (the paper's "TCP" baseline, and the base
+//! behaviour LIA builds on). Not ECN-capable: queues drop its packets.
+
+use super::{reno_growth, AckInfo, CongestionControl, SubflowCc, MIN_CWND};
+use crate::segment::EchoMode;
+
+/// Classic NewReno: slow start, AIMD, half-window loss response.
+#[derive(Debug, Default)]
+pub struct Reno;
+
+impl Reno {
+    /// A NewReno controller.
+    pub fn new() -> Self {
+        Reno
+    }
+}
+
+impl CongestionControl for Reno {
+    fn echo_mode(&self) -> EchoMode {
+        EchoMode::None
+    }
+
+    fn on_ack(&mut self, r: usize, info: &AckInfo, view: &mut [SubflowCc]) {
+        reno_growth(&mut view[r], info);
+    }
+
+    fn ssthresh_on_loss(&mut self, r: usize, view: &[SubflowCc]) -> f64 {
+        (view[r].cwnd / 2.0).max(MIN_CWND)
+    }
+
+    fn name(&self) -> &'static str {
+        "TCP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::test_ack;
+
+    #[test]
+    fn loss_halves() {
+        let mut cc = Reno::new();
+        let view = vec![SubflowCc {
+            cwnd: 20.0,
+            ..SubflowCc::new(20.0)
+        }];
+        assert!((cc.ssthresh_on_loss(0, &view) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_floor_is_two() {
+        let mut cc = Reno::new();
+        let view = vec![SubflowCc::new(2.0)];
+        assert!((cc.ssthresh_on_loss(0, &view) - MIN_CWND).abs() < 1e-9);
+    }
+
+    #[test]
+    fn not_ecn_capable() {
+        assert_eq!(Reno::new().echo_mode(), EchoMode::None);
+    }
+
+    #[test]
+    fn growth_ignores_pure_dupacks() {
+        let mut cc = Reno::new();
+        let mut view = vec![SubflowCc::new(10.0)];
+        cc.on_ack(0, &test_ack(0, 0, 0), &mut view);
+        assert!((view[0].cwnd - 10.0).abs() < 1e-12);
+    }
+}

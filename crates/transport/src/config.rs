@@ -1,0 +1,78 @@
+//! Transport stack configuration.
+
+use xmp_des::SimDuration;
+
+/// Knobs of the host TCP/MPTCP stack.
+///
+/// Defaults follow the paper's environment: Linux-era `RTOmin = 200 ms`
+/// (the paper repeatedly attributes LIA's poor flow-completion behaviour to
+/// exactly this constant), initial window of 10 segments (Linux 3.x),
+/// MSS 1460 (1500-byte wire packets).
+#[derive(Debug, Clone)]
+pub struct StackConfig {
+    /// Maximum segment size in bytes.
+    pub mss: u32,
+    /// Minimum retransmission timeout.
+    pub rto_min: SimDuration,
+    /// Maximum retransmission timeout.
+    pub rto_max: SimDuration,
+    /// RTO before any RTT sample exists.
+    pub rto_initial: SimDuration,
+    /// Initial congestion window (packets).
+    pub initial_cwnd: f64,
+    /// Delayed-ACK timeout (acks are also forced every 2nd segment, on
+    /// out-of-order arrivals, PSH, and DCTCP CE-state changes).
+    pub delack_timeout: SimDuration,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        StackConfig {
+            mss: 1460,
+            rto_min: SimDuration::from_millis(200),
+            rto_max: SimDuration::from_secs(60),
+            rto_initial: SimDuration::from_millis(200),
+            initial_cwnd: 10.0,
+            delack_timeout: SimDuration::from_millis(40),
+        }
+    }
+}
+
+impl StackConfig {
+    /// Override `RTOmin` (e.g. for the fine-grained-RTO ablation suggested
+    /// by Vasudevan et al., discussed in the paper's related work).
+    pub fn with_rto_min(mut self, d: SimDuration) -> Self {
+        self.rto_min = d;
+        self.rto_initial = self.rto_initial.max(d);
+        self
+    }
+
+    /// Override the initial congestion window.
+    pub fn with_initial_cwnd(mut self, iw: f64) -> Self {
+        assert!(iw >= 1.0);
+        self.initial_cwnd = iw;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_environment() {
+        let c = StackConfig::default();
+        assert_eq!(c.mss, 1460);
+        assert_eq!(c.rto_min, SimDuration::from_millis(200));
+        assert_eq!(c.initial_cwnd, 10.0);
+    }
+
+    #[test]
+    fn builders() {
+        let c = StackConfig::default()
+            .with_rto_min(SimDuration::from_millis(10))
+            .with_initial_cwnd(2.0);
+        assert_eq!(c.rto_min, SimDuration::from_millis(10));
+        assert_eq!(c.initial_cwnd, 2.0);
+    }
+}

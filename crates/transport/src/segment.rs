@@ -1,0 +1,189 @@
+//! Transport segments — the payload type carried by simulator packets.
+//!
+//! A segment models the TCP(+MPTCP) header fields the algorithms actually
+//! read: sequence/ack numbers, the handshake kinds, a timestamp option for
+//! RTT measurement, and the ECN feedback fields. The XMP paper re-purposes
+//! the ECE+CWR header bits as a 2-bit **count** of received CE marks
+//! (0–3 per ACK); `ce_echo` carries that count. DCTCP-mode receivers use the
+//! same field to report the exact number of marked segments covered by the
+//! ACK (the idealized equivalent of DCTCP's one-bit state machine), together
+//! with `covered` (total data segments covered).
+
+use xmp_des::ByteSize;
+
+/// Global connection identifier, assigned by the workload layer.
+pub type ConnKey = u64;
+
+/// TCP/IP header bytes modelled on every packet.
+pub const HEADER_BYTES: u32 = 40;
+/// Default maximum segment size (1500-byte wire packets).
+pub const DEFAULT_MSS: u32 = 1460;
+
+/// How the receiver feeds congestion marks back to the sender.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EchoMode {
+    /// No ECN (plain TCP); data packets are sent Not-ECT.
+    #[default]
+    None,
+    /// XMP: echo the exact number of CE marks, up to 3 per ACK, using the
+    /// 2-bit ECE+CWR encoding (paper BOS rule 2). Unreported marks stay
+    /// pending for the next ACK.
+    CeCount,
+    /// DCTCP: report how many of the segments covered by this ACK were
+    /// marked (with `covered` as the denominator for the α estimate).
+    Dctcp,
+}
+
+/// Segment kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegKind {
+    /// Subflow handshake request.
+    Syn,
+    /// Handshake response (also acknowledges the SYN).
+    SynAck,
+    /// Data segment (`seq`, `len` meaningful).
+    Data,
+    /// Pure acknowledgement (`ack` meaningful).
+    Ack,
+}
+
+/// A transport segment.
+#[derive(Clone, Debug)]
+pub struct Segment {
+    /// Connection the segment belongs to.
+    pub conn: ConnKey,
+    /// Subflow index within the connection.
+    pub subflow: u8,
+    /// Kind.
+    pub kind: SegKind,
+    /// First payload byte (Data).
+    pub seq: u64,
+    /// Payload length in bytes (Data).
+    pub len: u32,
+    /// Cumulative acknowledgement (Ack / SynAck).
+    pub ack: u64,
+    /// Echoed CE count (see [`EchoMode`]).
+    pub ce_echo: u8,
+    /// Data segments covered by this ACK (DCTCP α denominator).
+    pub covered: u8,
+    /// Sender timestamp (ns) — the TSval option.
+    pub tsval: u64,
+    /// Echoed peer timestamp (ns) — the TSecr option; 0 when absent.
+    pub tsecr: u64,
+    /// PSH: end of application data; receivers acknowledge immediately.
+    pub push: bool,
+    /// Echo mode advertised on SYN (receiver configures itself from it).
+    pub echo_mode: EchoMode,
+}
+
+impl Segment {
+    /// On-wire size of this segment (header + payload).
+    pub fn wire_size(&self) -> ByteSize {
+        ByteSize::from_bytes(u64::from(HEADER_BYTES) + u64::from(self.len))
+    }
+
+    /// A SYN for `conn`/`subflow`, advertising the echo mode.
+    pub fn syn(conn: ConnKey, subflow: u8, tsval: u64, echo_mode: EchoMode) -> Self {
+        Segment {
+            conn,
+            subflow,
+            kind: SegKind::Syn,
+            seq: 0,
+            len: 0,
+            ack: 0,
+            ce_echo: 0,
+            covered: 0,
+            tsval,
+            tsecr: 0,
+            push: false,
+            echo_mode,
+        }
+    }
+
+    /// The SYN-ACK answering `syn`.
+    pub fn syn_ack(syn: &Segment, tsval: u64) -> Self {
+        debug_assert_eq!(syn.kind, SegKind::Syn);
+        Segment {
+            conn: syn.conn,
+            subflow: syn.subflow,
+            kind: SegKind::SynAck,
+            seq: 0,
+            len: 0,
+            ack: 0,
+            ce_echo: 0,
+            covered: 0,
+            tsval,
+            tsecr: syn.tsval,
+            push: false,
+            echo_mode: syn.echo_mode,
+        }
+    }
+
+    /// A data segment.
+    #[allow(clippy::too_many_arguments)]
+    pub fn data(conn: ConnKey, subflow: u8, seq: u64, len: u32, tsval: u64, push: bool) -> Self {
+        debug_assert!(len > 0, "empty data segment");
+        Segment {
+            conn,
+            subflow,
+            kind: SegKind::Data,
+            seq,
+            len,
+            ack: 0,
+            ce_echo: 0,
+            covered: 0,
+            tsval,
+            tsecr: 0,
+            push,
+            echo_mode: EchoMode::None,
+        }
+    }
+
+    /// A pure ACK.
+    pub fn ack(conn: ConnKey, subflow: u8, ack: u64, ce_echo: u8, covered: u8, tsecr: u64) -> Self {
+        assert!(ce_echo <= 3, "2-bit CE encoding holds at most 3");
+        Segment {
+            conn,
+            subflow,
+            kind: SegKind::Ack,
+            seq: 0,
+            len: 0,
+            ack,
+            ce_echo,
+            covered,
+            tsval: 0,
+            tsecr,
+            push: false,
+            echo_mode: EchoMode::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes() {
+        let d = Segment::data(1, 0, 0, DEFAULT_MSS, 0, false);
+        assert_eq!(d.wire_size().as_bytes(), 1500);
+        let a = Segment::ack(1, 0, 1460, 0, 1, 0);
+        assert_eq!(a.wire_size().as_bytes(), 40);
+    }
+
+    #[test]
+    fn syn_ack_echoes_timestamp_and_mode() {
+        let syn = Segment::syn(9, 2, 12345, EchoMode::CeCount);
+        let sa = Segment::syn_ack(&syn, 777);
+        assert_eq!(sa.tsecr, 12345);
+        assert_eq!(sa.conn, 9);
+        assert_eq!(sa.subflow, 2);
+        assert_eq!(sa.echo_mode, EchoMode::CeCount);
+    }
+
+    #[test]
+    #[should_panic(expected = "2-bit CE encoding")]
+    fn ce_echo_bounded() {
+        Segment::ack(1, 0, 0, 4, 0, 0);
+    }
+}

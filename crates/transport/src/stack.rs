@@ -1,0 +1,273 @@
+//! The host protocol stack: a [`netsim` agent](xmp_netsim::Agent) that
+//! multiplexes any number of sending and receiving connections on one host,
+//! translating the pure sender/receiver state machines into packets and
+//! timers.
+//!
+//! Drivers open connections with [`HostStack::open`] (via
+//! [`Sim::with_agent`](xmp_netsim::Sim::with_agent)); when a sending
+//! connection's last byte is acknowledged, the stack raises the connection
+//! key as a simulation **signal** so workloads can react immediately
+//! (goodput accounting, starting follow-up flows, job bookkeeping).
+
+use crate::cc::CongestionControl;
+use crate::config::StackConfig;
+use crate::receiver::{MpReceiver, ReplyPath, RxAction};
+use crate::segment::{ConnKey, EchoMode, SegKind, Segment};
+use crate::sender::{ConnStats, MpSender, SubflowSpec, TxAction};
+use std::any::Any;
+use std::collections::HashMap;
+use xmp_des::ByteSize;
+use xmp_netsim::{Agent, Ctx, Ecn, FlowId, Packet, PortId};
+
+const KIND_RTO: u64 = 0;
+const KIND_DELACK: u64 = 1;
+
+fn token(conn: ConnKey, subflow: u8, kind: u64) -> u64 {
+    debug_assert!(conn < 1 << 59, "connection key too large for timer encoding");
+    (conn << 4) | (u64::from(subflow) << 1) | kind
+}
+
+fn untoken(token: u64) -> (ConnKey, u8, u64) {
+    (token >> 4, ((token >> 1) & 0x7) as u8, token & 1)
+}
+
+enum ConnState {
+    Tx(MpSender),
+    Rx(MpReceiver),
+}
+
+/// Per-host transport stack.
+pub struct HostStack {
+    cfg: StackConfig,
+    conns: HashMap<ConnKey, ConnState>,
+}
+
+impl HostStack {
+    /// A stack with the given configuration.
+    pub fn new(cfg: StackConfig) -> Self {
+        HostStack {
+            cfg,
+            conns: HashMap::new(),
+        }
+    }
+
+    /// The stack configuration.
+    pub fn config(&self) -> &StackConfig {
+        &self.cfg
+    }
+
+    /// Open a sending connection of `total` bytes (`u64::MAX` = unbounded)
+    /// across `subflows`, controlled by `cc`. Emits the SYNs immediately.
+    pub fn open(
+        &mut self,
+        ctx: &mut Ctx<'_, Segment>,
+        conn: ConnKey,
+        subflows: Vec<SubflowSpec>,
+        total: u64,
+        cc: Box<dyn CongestionControl>,
+    ) {
+        assert!(
+            !self.conns.contains_key(&conn),
+            "connection {conn} already exists on this host"
+        );
+        let mut sender = MpSender::new(conn, subflows, total, cc, &self.cfg, ctx.now());
+        let mut out = Vec::new();
+        sender.open(ctx.now(), &mut out);
+        self.conns.insert(conn, ConnState::Tx(sender));
+        self.apply_tx(ctx, conn, out);
+    }
+
+    /// Join an extra subflow on a running sending connection.
+    pub fn add_subflow(
+        &mut self,
+        ctx: &mut Ctx<'_, Segment>,
+        conn: ConnKey,
+        spec: crate::sender::SubflowSpec,
+    ) {
+        let cfg = self.cfg.clone();
+        let Some(ConnState::Tx(s)) = self.conns.get_mut(&conn) else {
+            panic!("add_subflow on unknown sending connection {conn}");
+        };
+        let mut out = Vec::new();
+        s.add_subflow(spec, &cfg, ctx.now(), &mut out);
+        self.apply_tx(ctx, conn, out);
+    }
+
+    /// Drop a connection (used to stop unbounded background flows). Timers
+    /// are implicitly stale-cancelled; in-flight packets are ignored on
+    /// arrival.
+    pub fn close(&mut self, ctx: &mut Ctx<'_, Segment>, conn: ConnKey) {
+        if let Some(ConnState::Tx(s)) = self.conns.get(&conn) {
+            for r in 0..s.subflow_count() {
+                ctx.cancel_timer(token(conn, r as u8, KIND_RTO));
+            }
+        }
+        self.conns.remove(&conn);
+    }
+
+    /// Sending-connection accessor (stats, per-subflow windows/rates).
+    pub fn sender(&self, conn: ConnKey) -> Option<&MpSender> {
+        match self.conns.get(&conn) {
+            Some(ConnState::Tx(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Stats shortcut for a sending connection.
+    pub fn conn_stats(&self, conn: ConnKey) -> Option<&ConnStats> {
+        self.sender(conn).map(|s| s.stats())
+    }
+
+    /// Receiving-connection accessor.
+    pub fn receiver(&self, conn: ConnKey) -> Option<&MpReceiver> {
+        match self.conns.get(&conn) {
+            Some(ConnState::Rx(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Number of live connections (both directions).
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn apply_tx(&mut self, ctx: &mut Ctx<'_, Segment>, conn: ConnKey, actions: Vec<TxAction>) {
+        // Look up addressing once per action from the sender's spec.
+        for act in actions {
+            match act {
+                TxAction::Emit(r, seg) => {
+                    let Some(ConnState::Tx(s)) = self.conns.get(&conn) else {
+                        continue;
+                    };
+                    let spec = *s.spec(r as usize);
+                    let ecn = if s.cc().echo_mode() != EchoMode::None
+                        && seg.kind == SegKind::Data
+                    {
+                        Ecn::Ect
+                    } else {
+                        Ecn::NotEct
+                    };
+                    let size = seg.wire_size();
+                    let flow = FlowId((conn << 3) | u64::from(r));
+                    ctx.send(
+                        spec.local_port,
+                        Packet::new(spec.src, spec.dst, flow, ecn, size, seg),
+                    );
+                }
+                TxAction::ArmRto(r, at) => ctx.set_timer(token(conn, r, KIND_RTO), at),
+                TxAction::CancelRto(r) => ctx.cancel_timer(token(conn, r, KIND_RTO)),
+                TxAction::Completed => ctx.signal(conn),
+            }
+        }
+    }
+
+    fn apply_rx(&mut self, ctx: &mut Ctx<'_, Segment>, conn: ConnKey, actions: Vec<RxAction>) {
+        for act in actions {
+            match act {
+                RxAction::Emit(r, seg, reply) => {
+                    let size = seg.wire_size();
+                    // Reverse direction gets a distinct flow id for ECMP.
+                    let flow = FlowId(((conn << 3) | u64::from(r)) ^ (1 << 62));
+                    ctx.send(
+                        reply.port,
+                        Packet::new(reply.src, reply.dst, flow, Ecn::NotEct, size, seg),
+                    );
+                }
+                RxAction::ArmDelack(r, at) => ctx.set_timer(token(conn, r, KIND_DELACK), at),
+                RxAction::CancelDelack(r) => ctx.cancel_timer(token(conn, r, KIND_DELACK)),
+            }
+        }
+    }
+}
+
+impl Agent<Segment> for HostStack {
+    fn on_packet(&mut self, pkt: Packet<Segment>, port: PortId, ctx: &mut Ctx<'_, Segment>) {
+        let seg = pkt.payload.clone();
+        let conn = seg.conn;
+        match seg.kind {
+            SegKind::Syn => {
+                let rx = match self.conns.entry(conn).or_insert_with(|| {
+                    ConnState::Rx(MpReceiver::new(conn, seg.echo_mode, self.cfg.delack_timeout))
+                }) {
+                    ConnState::Rx(r) => r,
+                    ConnState::Tx(_) => return, // key collision with a local sender: ignore
+                };
+                let reply = ReplyPath {
+                    port,
+                    src: pkt.dst,
+                    dst: pkt.src,
+                };
+                let mut out = Vec::new();
+                rx.on_syn(&seg, reply, ctx.now(), &mut out);
+                self.apply_rx(ctx, conn, out);
+            }
+            SegKind::Data => {
+                let ce = pkt.ecn == Ecn::Ce;
+                let Some(ConnState::Rx(rx)) = self.conns.get_mut(&conn) else {
+                    return;
+                };
+                let mut out = Vec::new();
+                rx.on_data(&seg, ce, ctx.now(), &mut out);
+                self.apply_rx(ctx, conn, out);
+            }
+            SegKind::SynAck | SegKind::Ack => {
+                let Some(ConnState::Tx(tx)) = self.conns.get_mut(&conn) else {
+                    return;
+                };
+                let mut out = Vec::new();
+                tx.on_segment(&seg, ctx.now(), &mut out);
+                self.apply_tx(ctx, conn, out);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, tok: u64, ctx: &mut Ctx<'_, Segment>) {
+        let (conn, subflow, kind) = untoken(tok);
+        match (kind, self.conns.get_mut(&conn)) {
+            (KIND_RTO, Some(ConnState::Tx(tx))) => {
+                let mut out = Vec::new();
+                tx.on_rto(subflow as usize, ctx.now(), &mut out);
+                self.apply_tx(ctx, conn, out);
+            }
+            (KIND_DELACK, Some(ConnState::Rx(rx))) => {
+                let mut out = Vec::new();
+                rx.on_delack(subflow as usize, &mut out);
+                self.apply_rx(ctx, conn, out);
+            }
+            _ => {} // connection closed; stale timer
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Convenience: wire size of a full data packet under `cfg`.
+pub fn full_packet_size(cfg: &StackConfig) -> ByteSize {
+    ByteSize::from_bytes(u64::from(cfg.mss) + u64::from(crate::segment::HEADER_BYTES))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_round_trip() {
+        for conn in [0u64, 1, 77, 1 << 40] {
+            for sub in 0..8u8 {
+                for kind in [KIND_RTO, KIND_DELACK] {
+                    assert_eq!(untoken(token(conn, sub, kind)), (conn, sub, kind));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_packet_is_1500() {
+        assert_eq!(
+            full_packet_size(&StackConfig::default()).as_bytes(),
+            1500
+        );
+    }
+}

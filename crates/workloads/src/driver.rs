@@ -1,0 +1,478 @@
+//! The flow driver: schedules flow starts, tracks completions, keeps
+//! per-flow records, and exposes the rate-sampling hooks the time-series
+//! figures need.
+
+use crate::scheme::Scheme;
+use std::collections::HashMap;
+use xmp_des::{SimDuration, SimTime};
+use xmp_netsim::{NodeId, Sim};
+use xmp_topo::FlowCategory;
+use xmp_transport::{ConnKey, HostStack, Segment, SubflowSpec};
+
+/// Record of one flow's life.
+#[derive(Debug, Clone)]
+pub struct FlowRecord {
+    /// Connection key.
+    pub conn: ConnKey,
+    /// Sending host.
+    pub src_node: NodeId,
+    /// Scheme label (e.g. "XMP-2").
+    pub scheme: String,
+    /// Transfer size in bytes (`u64::MAX` = unbounded background flow).
+    pub size: u64,
+    /// Number of subflows.
+    pub subflows: usize,
+    /// Locality class, when the topology defines one.
+    pub category: Option<FlowCategory>,
+    /// Free-form tag the patterns use (e.g. job index).
+    pub tag: u64,
+    /// Scheduled start.
+    pub start: SimTime,
+    /// Completion time, if the last byte was acknowledged.
+    pub completed: Option<SimTime>,
+    /// Goodput over the flow's lifetime (bits/s), filled at completion.
+    pub goodput_bps: f64,
+    /// Mean of the sender's RTT samples (ns), 0 if none.
+    pub mean_rtt_ns: u64,
+    /// Retransmission timeouts.
+    pub rtos: u64,
+    /// Fast retransmits.
+    pub fast_retransmits: u64,
+}
+
+impl FlowRecord {
+    /// Goodput normalized to a link capacity.
+    pub fn normalized_goodput(&self, capacity_bps: u64) -> f64 {
+        self.goodput_bps / capacity_bps as f64
+    }
+}
+
+/// Everything needed to start one flow.
+#[derive(Debug)]
+pub struct FlowSpecBuilder {
+    /// Sending host node.
+    pub src_node: NodeId,
+    /// Per-subflow path bindings.
+    pub subflows: Vec<SubflowSpec>,
+    /// Bytes to transfer (`u64::MAX` = unbounded).
+    pub size: u64,
+    /// Congestion-control scheme.
+    pub scheme: Scheme,
+    /// Start time.
+    pub start: SimTime,
+    /// Locality class, if known.
+    pub category: Option<FlowCategory>,
+    /// Pattern tag (job index etc.).
+    pub tag: u64,
+}
+
+struct PendingFlow {
+    spec: FlowSpecBuilder,
+    conn: ConnKey,
+}
+
+/// Flow lifecycle manager over a [`Sim`] whose hosts run [`HostStack`]s.
+#[derive(Default)]
+pub struct Driver {
+    next_conn: ConnKey,
+    // Pending flows sorted by *descending* start time; due flows pop off
+    // the back. Ties keep submission order.
+    pending: Vec<PendingFlow>,
+    records: HashMap<ConnKey, FlowRecord>,
+    completed: u64,
+}
+
+impl Driver {
+    /// Empty driver.
+    pub fn new() -> Self {
+        Driver::default()
+    }
+
+    /// Reserve a fresh connection key.
+    pub fn alloc_conn(&mut self) -> ConnKey {
+        self.next_conn += 1;
+        self.next_conn
+    }
+
+    /// Queue a flow for its start time. Returns the connection key.
+    pub fn submit(&mut self, spec: FlowSpecBuilder) -> ConnKey {
+        let conn = self.alloc_conn();
+        self.records.insert(
+            conn,
+            FlowRecord {
+                conn,
+                src_node: spec.src_node,
+                scheme: spec.scheme.label(),
+                size: spec.size,
+                subflows: spec.subflows.len(),
+                category: spec.category,
+                tag: spec.tag,
+                start: spec.start,
+                completed: None,
+                goodput_bps: 0.0,
+                mean_rtt_ns: 0,
+                rtos: 0,
+                fast_retransmits: 0,
+            },
+        );
+        let pos = self
+            .pending
+            .iter()
+            .position(|p| p.spec.start < spec.start)
+            .unwrap_or(self.pending.len());
+        self.pending.insert(pos, PendingFlow { spec, conn });
+        conn
+    }
+
+    /// Number of completed flows so far.
+    pub fn completed_count(&self) -> u64 {
+        self.completed
+    }
+
+    /// All flow records (completed and not).
+    pub fn records(&self) -> impl Iterator<Item = &FlowRecord> {
+        self.records.values()
+    }
+
+    /// One record.
+    pub fn record(&self, conn: ConnKey) -> Option<&FlowRecord> {
+        self.records.get(&conn)
+    }
+
+    /// Run the simulation until `until`, starting queued flows on time and
+    /// invoking `on_complete(sim, driver, conn)` as flows finish (the
+    /// callback may submit more flows or stop unbounded ones).
+    pub fn run(
+        &mut self,
+        sim: &mut Sim<Segment>,
+        until: SimTime,
+        mut on_complete: impl FnMut(&mut Sim<Segment>, &mut Driver, ConnKey),
+    ) {
+        loop {
+            self.start_due(sim);
+            // Advance to the next flow start or the deadline.
+            let stop = match self.pending.last().map(|p| p.spec.start) {
+                Some(t) if t <= until => t,
+                _ => until,
+            };
+            sim.run_until(stop, |sim2, node, conn| {
+                // The stack signals the connection key on completion; the
+                // callback may chain follow-up flows starting *now*.
+                Self::harvest(&mut self.records, &mut self.completed, sim2, node, conn);
+                on_complete(sim2, self, conn);
+                self.start_due(sim2);
+            });
+            sim.advance_to(stop);
+            // Done once the deadline is reached and nothing is due at it.
+            if stop >= until
+                && self
+                    .pending
+                    .last().is_none_or(|p| p.spec.start > sim.now())
+            {
+                break;
+            }
+        }
+    }
+
+    /// Start every pending flow whose start time has been reached.
+    fn start_due(&mut self, sim: &mut Sim<Segment>) {
+        while self
+            .pending
+            .last()
+            .is_some_and(|p| p.spec.start <= sim.now())
+        {
+            let due = self.pending.pop().expect("checked non-empty");
+            self.start_now(sim, due);
+        }
+    }
+
+    fn start_now(&mut self, sim: &mut Sim<Segment>, due: PendingFlow) {
+        let PendingFlow { spec, conn } = due;
+        let cc = spec.scheme.make_cc();
+        sim.with_agent::<HostStack, _>(spec.src_node, |stack, ctx| {
+            stack.open(ctx, conn, spec.subflows, spec.size, cc);
+        });
+        if let Some(rec) = self.records.get_mut(&conn) {
+            rec.start = sim.now().max(rec.start);
+        }
+    }
+
+    fn harvest(
+        records: &mut HashMap<ConnKey, FlowRecord>,
+        completed: &mut u64,
+        sim: &mut Sim<Segment>,
+        node: NodeId,
+        conn: ConnKey,
+    ) {
+        let Some(rec) = records.get_mut(&conn) else {
+            return;
+        };
+        if rec.completed.is_some() {
+            return;
+        }
+        let now = sim.now();
+        sim.with_agent::<HostStack, _>(node, |stack, _| {
+            if let Some(stats) = stack.conn_stats(conn) {
+                rec.completed = stats.completed;
+                rec.goodput_bps = stats.goodput_bps(now);
+                rec.mean_rtt_ns = stats.mean_rtt().map_or(0, |d| d.as_nanos());
+                rec.rtos = stats.rtos;
+                rec.fast_retransmits = stats.fast_retransmits;
+            }
+        });
+        *completed += 1;
+    }
+
+    /// Join an extra subflow on a running flow (the paper's Fig. 6
+    /// staggers subflow establishment).
+    pub fn add_subflow(&mut self, sim: &mut Sim<Segment>, conn: ConnKey, spec: SubflowSpec) {
+        let Some(rec) = self.records.get_mut(&conn) else {
+            panic!("add_subflow on unknown flow {conn}");
+        };
+        rec.subflows += 1;
+        let node = rec.src_node;
+        sim.with_agent::<HostStack, _>(node, |stack, ctx| {
+            stack.add_subflow(ctx, conn, spec);
+        });
+    }
+
+    /// Stop an unbounded flow and finalize its record with the stats so
+    /// far (used for background flows and for time-limited runs).
+    pub fn stop_flow(&mut self, sim: &mut Sim<Segment>, conn: ConnKey) {
+        let Some(rec) = self.records.get_mut(&conn) else {
+            return;
+        };
+        let node = rec.src_node;
+        let now = sim.now();
+        sim.with_agent::<HostStack, _>(node, |stack, ctx| {
+            if let Some(stats) = stack.conn_stats(conn) {
+                rec.goodput_bps = stats.goodput_bps(now);
+                rec.mean_rtt_ns = stats.mean_rtt().map_or(0, |d| d.as_nanos());
+                rec.rtos = stats.rtos;
+                rec.fast_retransmits = stats.fast_retransmits;
+            }
+            stack.close(ctx, conn);
+        });
+    }
+
+    /// Finalize records of still-running flows without closing them
+    /// (end-of-run accounting).
+    pub fn finalize_running(&mut self, sim: &mut Sim<Segment>) {
+        let now = sim.now();
+        for rec in self.records.values_mut() {
+            if rec.completed.is_some() {
+                continue;
+            }
+            let node = rec.src_node;
+            let conn = rec.conn;
+            sim.with_agent::<HostStack, _>(node, |stack, _| {
+                if let Some(stats) = stack.conn_stats(conn) {
+                    rec.goodput_bps = stats.goodput_bps(now);
+                    rec.mean_rtt_ns = stats.mean_rtt().map_or(0, |d| d.as_nanos());
+                    rec.rtos = stats.rtos;
+                    rec.fast_retransmits = stats.fast_retransmits;
+                }
+            });
+        }
+    }
+
+    /// Bytes acknowledged so far on one subflow of a running flow.
+    pub fn subflow_acked(&self, sim: &mut Sim<Segment>, conn: ConnKey, r: usize) -> u64 {
+        let Some(rec) = self.records.get(&conn) else {
+            return 0;
+        };
+        sim.with_agent::<HostStack, _>(rec.src_node, |stack, _| {
+            stack
+                .sender(conn)
+                .map_or(0, |s| s.subflow_acked(r.min(s.subflow_count() - 1)))
+        })
+    }
+}
+
+/// Samples per-subflow rates between calls — the paper's normalized-rate
+/// time series (Figs. 4, 6, 7).
+#[derive(Default)]
+pub struct RateSampler {
+    prev: HashMap<(ConnKey, usize), (u64, SimTime)>,
+}
+
+impl RateSampler {
+    /// New sampler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Average rate (bits/s) of `conn`'s subflow `r` since the previous
+    /// call for the same key (0 on the first call).
+    pub fn sample(
+        &mut self,
+        sim: &mut Sim<Segment>,
+        driver: &Driver,
+        conn: ConnKey,
+        r: usize,
+    ) -> f64 {
+        let now = sim.now();
+        let acked = driver.subflow_acked(sim, conn, r);
+        let (prev_bytes, prev_t) = self
+            .prev
+            .insert((conn, r), (acked, now))
+            .unwrap_or((acked, now));
+        let dt = now.duration_since(prev_t);
+        if dt == SimDuration::ZERO {
+            0.0
+        } else {
+            (acked.saturating_sub(prev_bytes)) as f64 * 8.0 / dt.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmp_des::{Bandwidth, SimDuration};
+    use xmp_netsim::QdiscConfig;
+    use xmp_topo::Dumbbell;
+    use xmp_transport::{StackConfig, DEFAULT_MSS};
+
+    fn stack() -> Box<HostStack> {
+        Box::new(HostStack::new(StackConfig::default()))
+    }
+
+    fn setup(n: usize) -> (Sim<Segment>, Dumbbell) {
+        let mut sim: Sim<Segment> = Sim::new(7);
+        let db = Dumbbell::build(
+            &mut sim,
+            n,
+            Bandwidth::from_mbps(300),
+            SimDuration::from_micros(1800),
+            QdiscConfig::EcnThreshold { cap: 100, k: 15 },
+            |_| stack(),
+        );
+        (sim, db)
+    }
+
+    fn flow(db: &Dumbbell, i: usize, size: u64, scheme: Scheme, start_ms: u64) -> FlowSpecBuilder {
+        FlowSpecBuilder {
+            src_node: db.sources[i],
+            subflows: vec![SubflowSpec {
+                local_port: xmp_netsim::PortId(0),
+                src: Dumbbell::src_addr(i),
+                dst: Dumbbell::dst_addr(i),
+            }],
+            size,
+            scheme,
+            start: SimTime::from_millis(start_ms),
+            category: None,
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn single_flow_transfers_exact_bytes() {
+        let (mut sim, db) = setup(1);
+        let mut d = Driver::new();
+        let size = 5 * DEFAULT_MSS as u64 + 123;
+        let conn = d.submit(flow(&db, 0, size, Scheme::xmp(1), 0));
+        d.run(&mut sim, SimTime::from_secs(2), |_, _, _| {});
+        let rec = d.record(conn).unwrap();
+        assert!(rec.completed.is_some(), "flow did not finish");
+        assert!(rec.goodput_bps > 0.0);
+        assert_eq!(d.completed_count(), 1);
+    }
+
+    #[test]
+    fn staggered_starts_are_respected() {
+        let (mut sim, db) = setup(2);
+        let mut d = Driver::new();
+        let c1 = d.submit(flow(&db, 0, 200_000, Scheme::Dctcp, 0));
+        let c2 = d.submit(flow(&db, 1, 200_000, Scheme::Dctcp, 50));
+        d.run(&mut sim, SimTime::from_secs(2), |_, _, _| {});
+        let r1 = d.record(c1).unwrap();
+        let r2 = d.record(c2).unwrap();
+        assert!(r1.completed.unwrap() < r2.completed.unwrap());
+        assert!(r2.start >= SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn on_complete_can_chain_flows() {
+        let (mut sim, db) = setup(1);
+        let mut d = Driver::new();
+        d.submit(flow(&db, 0, 100_000, Scheme::Tcp, 0));
+        let mut started = 1;
+        d.run(&mut sim, SimTime::from_secs(5), |sim, d, _conn| {
+            if started < 3 {
+                started += 1;
+                let f = flow(&db, 0, 100_000, Scheme::Tcp, 0);
+                let f = FlowSpecBuilder {
+                    start: sim.now(),
+                    ..f
+                };
+                d.submit(f);
+            }
+        });
+        assert_eq!(d.completed_count(), 3);
+    }
+
+    #[test]
+    fn unbounded_flow_stopped_and_recorded() {
+        let (mut sim, db) = setup(1);
+        let mut d = Driver::new();
+        let conn = d.submit(flow(&db, 0, u64::MAX, Scheme::xmp(1), 0));
+        d.run(&mut sim, SimTime::from_millis(500), |_, _, _| {});
+        d.stop_flow(&mut sim, conn);
+        let rec = d.record(conn).unwrap();
+        assert!(rec.completed.is_none());
+        // ~300 Mbps for 0.5 s less handshake/ramp-up.
+        assert!(
+            rec.goodput_bps > 0.5 * 300e6 && rec.goodput_bps < 310e6,
+            "goodput {}",
+            rec.goodput_bps
+        );
+        // After stopping, the network drains and nothing more is acked.
+        d.run(&mut sim, SimTime::from_millis(600), |_, _, _| {});
+    }
+
+    #[test]
+    fn rate_sampler_sees_the_bottleneck_rate() {
+        let (mut sim, db) = setup(1);
+        let mut d = Driver::new();
+        let conn = d.submit(flow(&db, 0, u64::MAX, Scheme::xmp(1), 0));
+        let mut sampler = RateSampler::new();
+        d.run(&mut sim, SimTime::from_millis(300), |_, _, _| {});
+        sampler.sample(&mut sim, &d, conn, 0); // establish baseline
+        d.run(&mut sim, SimTime::from_millis(800), |_, _, _| {});
+        let rate = sampler.sample(&mut sim, &d, conn, 0);
+        assert!(
+            (0.85 * 300e6..310e6).contains(&rate),
+            "steady rate {rate} not near 300 Mbps"
+        );
+        d.stop_flow(&mut sim, conn);
+    }
+
+    #[test]
+    fn two_xmp_flows_share_fairly_and_keep_queue_near_k() {
+        let (mut sim, db) = setup(2);
+        let mut d = Driver::new();
+        let c1 = d.submit(flow(&db, 0, u64::MAX, Scheme::xmp(1), 0));
+        let c2 = d.submit(flow(&db, 1, u64::MAX, Scheme::xmp(1), 0));
+        let mut sampler = RateSampler::new();
+        d.run(&mut sim, SimTime::from_millis(500), |_, _, _| {});
+        sampler.sample(&mut sim, &d, c1, 0);
+        sampler.sample(&mut sim, &d, c2, 0);
+        d.run(&mut sim, SimTime::from_millis(1500), |_, _, _| {});
+        let r1 = sampler.sample(&mut sim, &d, c1, 0);
+        let r2 = sampler.sample(&mut sim, &d, c2, 0);
+        let jain = crate::metrics::jain_index(&[r1, r2]);
+        assert!(jain > 0.95, "jain={jain} r1={r1} r2={r2}");
+        assert!((r1 + r2) > 0.85 * 300e6, "under-utilized: {}", r1 + r2);
+        // Buffer occupancy stays around K = 15, far below the 100 cap.
+        let mean_q = sim
+            .link(db.bottleneck)
+            .dir(0)
+            .stats
+            .mean_depth(sim.now());
+        assert!(mean_q < 25.0, "mean queue {mean_q} pkts");
+        d.stop_flow(&mut sim, c1);
+        d.stop_flow(&mut sim, c2);
+    }
+}

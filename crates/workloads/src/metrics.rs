@@ -1,0 +1,188 @@
+//! Evaluation metrics: CDFs, percentiles, fairness, link utilization.
+
+use xmp_des::SimTime;
+use xmp_netsim::network::Payload;
+use xmp_netsim::{LinkId, Sim};
+
+/// An empirical distribution (the paper's CDF plots and percentile bars).
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from any sample iterator (NaNs are dropped).
+    pub fn new(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the distribution is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `p`-th percentile (0 ≤ p ≤ 100), by nearest-rank.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p));
+        assert!(!self.is_empty(), "percentile of empty distribution");
+        let rank = ((p / 100.0) * (self.sorted.len() as f64 - 1.0)).round() as usize;
+        self.sorted[rank.min(self.sorted.len() - 1)]
+    }
+
+    /// Median shortcut.
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        *self.sorted.first().expect("non-empty")
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+
+    /// Fraction of samples strictly greater than `x` (the paper's
+    /// "> 300 ms" Job column).
+    pub fn fraction_above(&self, x: f64) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        (self.sorted.len() - idx) as f64 / self.sorted.len() as f64
+    }
+
+    /// `(x, F(x))` points for plotting/printing the CDF at `n` quantiles.
+    pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2);
+        (0..n)
+            .map(|i| {
+                let f = i as f64 / (n - 1) as f64;
+                (self.percentile(f * 100.0), f)
+            })
+            .collect()
+    }
+}
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`; 1.0 = perfectly fair.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        1.0
+    } else {
+        sum * sum / (xs.len() as f64 * sq)
+    }
+}
+
+/// Utilization of each link over `[0, now]`, counting the busier direction
+/// of each link (the paper's Fig. 11 reports per-link utilizations).
+pub fn link_utilization<P: Payload>(
+    sim: &Sim<P>,
+    links: impl IntoIterator<Item = LinkId>,
+    now: SimTime,
+) -> Vec<f64> {
+    links
+        .into_iter()
+        .map(|l| {
+            let link = sim.link(l);
+            let bps = link.bandwidth.as_bps();
+            let u0 = link.dirs[0].stats.utilization(bps, now.as_nanos());
+            let u1 = link.dirs[1].stats.utilization(bps, now.as_nanos());
+            u0.max(u1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn percentiles_on_known_data() {
+        let c = Cdf::new((1..=100).map(f64::from));
+        assert_eq!(c.min(), 1.0);
+        assert_eq!(c.max(), 100.0);
+        assert_eq!(c.median(), 51.0); // nearest-rank: index round(0.5*99) = 50
+        assert_eq!(c.percentile(10.0), 11.0);
+        assert_eq!(c.percentile(90.0), 90.0);
+        assert!((c.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_above() {
+        let c = Cdf::new([100.0, 200.0, 300.0, 400.0]);
+        assert!((c.fraction_above(300.0) - 0.25).abs() < 1e-12);
+        assert!((c.fraction_above(99.0) - 1.0).abs() < 1e-12);
+        assert_eq!(c.fraction_above(400.0), 0.0);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let c = Cdf::new([5.0, 1.0, 3.0, 2.0, 4.0]);
+        let pts = c.curve(11);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(pts.first().unwrap().0, 1.0);
+        assert_eq!(pts.last().unwrap().0, 5.0);
+    }
+
+    #[test]
+    fn nan_is_dropped() {
+        let c = Cdf::new([1.0, f64::NAN, 2.0]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One hog, three starved: 1/n.
+        assert!((jain_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_jain_in_unit_interval(xs in proptest::collection::vec(0.0f64..1e9, 1..20)) {
+            let j = jain_index(&xs);
+            prop_assert!((1.0 / xs.len() as f64 - 1e-9..=1.0 + 1e-9).contains(&j));
+        }
+
+        #[test]
+        fn prop_percentile_monotone(mut xs in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let c = Cdf::new(xs.iter().copied());
+            let mut last = f64::NEG_INFINITY;
+            for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+                let v = c.percentile(p);
+                prop_assert!(v >= last);
+                last = v;
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Traffic shifting: the paper's first testbed experiment (Fig. 3a / 4).
+//!
+//! Flow 2 holds one subflow through bottleneck DN1 and one through DN2.
+//! When a background flow appears on DN1, TraSh retunes the subflow gains
+//! and the traffic moves to DN2 — and back when the background flow moves.
+//! The example prints Flow 2's per-subflow rates every half second.
+//!
+//! Run with: `cargo run --release --example traffic_shifting`
+
+use xmp_suite::prelude::*;
+use xmp_suite::topo::testbed::{ShiftTestbed, TestbedConfig};
+
+fn main() {
+    let mut sim: Sim<Segment> = Sim::new(1);
+    let cfg = TestbedConfig::default(); // 300 Mbps, RTT 1.8 ms, K = 15
+    let tb = ShiftTestbed::build(&mut sim, &cfg, |_| {
+        Box::new(HostStack::new(StackConfig::default()))
+    });
+    let cap = cfg.bandwidth.as_bps() as f64;
+
+    let spec = |p: xmp_suite::topo::testbed::Path| SubflowSpec {
+        local_port: p.port,
+        src: p.src,
+        dst: p.dst,
+    };
+    let mut driver = Driver::new();
+    let flow = |node, subflows, n, start_s| FlowSpecBuilder {
+        src_node: node,
+        subflows,
+        size: u64::MAX,
+        scheme: Scheme::Xmp { beta: 4, subflows: n },
+        start: SimTime::from_secs(start_s),
+        category: None,
+        tag: 0,
+    };
+
+    driver.submit(flow(tb.s[0], vec![spec(tb.flow1_path())], 1, 0));
+    let flow2 = driver.submit(flow(
+        tb.s[1],
+        tb.flow2_paths().into_iter().map(spec).collect(),
+        2,
+        0,
+    ));
+    driver.submit(flow(tb.s[2], vec![spec(tb.flow3_path())], 1, 0));
+    let bg1 = driver.submit(flow(tb.bg_src[0], vec![spec(tb.bg_path(0))], 1, 2));
+    let bg2 = driver.submit(flow(tb.bg_src[1], vec![spec(tb.bg_path(1))], 1, 4));
+
+    println!("t(s)   flow2-1(DN1)  flow2-2(DN2)   phase");
+    let mut sampler = RateSampler::new();
+    let mut stopped = (false, false);
+    for half in 1..=16u64 {
+        let t = SimTime::from_millis(500 * half);
+        driver.run(&mut sim, t, |_, _, _| {});
+        if !stopped.0 && t >= SimTime::from_secs(4) {
+            driver.stop_flow(&mut sim, bg1);
+            stopped.0 = true;
+        }
+        if !stopped.1 && t >= SimTime::from_secs(6) {
+            driver.stop_flow(&mut sim, bg2);
+            stopped.1 = true;
+        }
+        let r1 = sampler.sample(&mut sim, &driver, flow2, 0) / cap;
+        let r2 = sampler.sample(&mut sim, &driver, flow2, 1) / cap;
+        let phase = match half {
+            1..=4 => "no background",
+            5..=8 => "background on DN1 -> shift to DN2",
+            9..=12 => "background on DN2 -> shift to DN1",
+            _ => "background gone -> rebalance",
+        };
+        println!("{:>4.1}   {:>12.2}  {:>12.2}   {phase}", t.as_secs_f64(), r1, r2);
+    }
+}

@@ -1,0 +1,181 @@
+//! Cross-crate integration: transport over the simulated network.
+
+use xmp_suite::prelude::*;
+
+fn stack() -> Box<HostStack> {
+    Box::new(HostStack::new(StackConfig::default()))
+}
+
+fn dumbbell(n: usize, queue: QdiscConfig, seed: u64) -> (Sim<Segment>, Dumbbell) {
+    let mut sim: Sim<Segment> = Sim::new(seed);
+    let db = Dumbbell::build(
+        &mut sim,
+        n,
+        Bandwidth::from_gbps(1),
+        SimDuration::from_micros(400),
+        queue,
+        |_| stack(),
+    );
+    (sim, db)
+}
+
+fn one_flow(db: &Dumbbell, i: usize, size: u64, scheme: Scheme) -> FlowSpecBuilder {
+    FlowSpecBuilder {
+        src_node: db.sources[i],
+        subflows: vec![SubflowSpec {
+            local_port: PortId(0),
+            src: Dumbbell::src_addr(i),
+            dst: Dumbbell::dst_addr(i),
+        }],
+        size,
+        scheme,
+        start: SimTime::ZERO,
+        category: None,
+        tag: 0,
+    }
+}
+
+#[test]
+fn exact_byte_counts_across_sizes() {
+    // Transfers of awkward sizes complete exactly (single segment, odd
+    // tails, multi-window).
+    for size in [1u64, 100, 1460, 1461, 2920, 100_000, 1_234_567] {
+        let (mut sim, db) = dumbbell(1, QdiscConfig::EcnThreshold { cap: 100, k: 10 }, 1);
+        let mut d = Driver::new();
+        let c = d.submit(one_flow(&db, 0, size, Scheme::xmp(1)));
+        d.run(&mut sim, SimTime::from_secs(10), |_, _, _| {});
+        let rec = d.record(c).unwrap();
+        assert!(rec.completed.is_some(), "size {size} did not complete");
+        // The sender-side receiver agreement: delivered == size.
+        let delivered = sim.with_agent::<HostStack, _>(db.sinks[0], |st, _| {
+            st.receiver(c).map(|r| r.delivered()).unwrap_or(0)
+        });
+        assert_eq!(delivered, size, "receiver got every byte exactly once");
+    }
+}
+
+#[test]
+fn determinism_same_seed_identical_results() {
+    let run = |seed: u64| {
+        let (mut sim, db) = dumbbell(4, QdiscConfig::EcnThreshold { cap: 100, k: 10 }, seed);
+        let mut d = Driver::new();
+        let conns: Vec<_> = (0..4)
+            .map(|i| d.submit(one_flow(&db, i, 2_000_000, Scheme::xmp(1))))
+            .collect();
+        d.run(&mut sim, SimTime::from_secs(10), |_, _, _| {});
+        conns
+            .iter()
+            .map(|&c| {
+                let r = d.record(c).unwrap();
+                (r.completed.unwrap().as_nanos(), r.goodput_bps.to_bits())
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(5), run(5), "same seed must reproduce bit-identically");
+}
+
+#[test]
+fn xmp_bounds_buffer_occupancy_lia_fills_it() {
+    // The paper's core buffer-occupancy claim, end to end: with the same
+    // switch, XMP holds the queue near K while LIA (loss-driven) drives it
+    // to the 100-packet cap.
+    let occupancy = |scheme: Scheme| {
+        let (mut sim, db) = dumbbell(2, QdiscConfig::EcnThreshold { cap: 100, k: 10 }, 7);
+        let mut d = Driver::new();
+        let c1 = d.submit(one_flow(&db, 0, u64::MAX, scheme));
+        let c2 = d.submit(one_flow(&db, 1, u64::MAX, scheme));
+        d.run(&mut sim, SimTime::from_secs(1), |_, _, _| {});
+        let s = &sim.link(db.bottleneck).dir(0).stats;
+        let mean = s.mean_depth(sim.now());
+        let max = s.max_depth;
+        d.stop_flow(&mut sim, c1);
+        d.stop_flow(&mut sim, c2);
+        (mean, max)
+    };
+    let (xmp_mean, xmp_max) = occupancy(Scheme::xmp(1));
+    let (lia_mean, lia_max) = occupancy(Scheme::lia(1));
+    assert!(xmp_mean < 20.0, "XMP mean queue {xmp_mean} should sit near K=10");
+    assert!(xmp_max < 60, "XMP max queue {xmp_max}");
+    assert!(
+        lia_mean > 2.0 * xmp_mean,
+        "LIA mean {lia_mean} should far exceed XMP {xmp_mean}"
+    );
+    assert!(lia_max >= 99, "LIA should fill the buffer, max={lia_max}");
+}
+
+#[test]
+fn flows_survive_random_loss_via_retransmission() {
+    // smoltcp-style fault injection: 2% random drops; the transfer still
+    // completes exactly.
+    let mut sim: Sim<Segment> = Sim::new(13);
+    let db = Dumbbell::build(
+        &mut sim,
+        1,
+        Bandwidth::from_gbps(1),
+        SimDuration::from_micros(400),
+        QdiscConfig::DropTail { cap: 100 },
+        |_| stack(),
+    );
+    sim.set_link_drop_prob(db.bottleneck, 0.02);
+    let mut d = Driver::new();
+    let c = d.submit(one_flow(&db, 0, 500_000, Scheme::Tcp));
+    d.run(&mut sim, SimTime::from_secs(30), |_, _, _| {});
+    let rec = d.record(c).unwrap();
+    assert!(rec.completed.is_some(), "flow must survive 2% loss");
+    assert!(
+        rec.fast_retransmits + rec.rtos > 0,
+        "losses must actually have happened"
+    );
+    let delivered = sim.with_agent::<HostStack, _>(db.sinks[0], |st, _| {
+        st.receiver(c).map(|r| r.delivered()).unwrap_or(0)
+    });
+    assert_eq!(delivered, 500_000);
+}
+
+#[test]
+fn rto_min_dominates_short_flow_loss_recovery() {
+    // The paper's Fig. 9 mechanism: a tail loss on a short TCP flow costs
+    // one RTOmin (200 ms). Force it with a heavy fault burst.
+    let mut sim: Sim<Segment> = Sim::new(3);
+    let db = Dumbbell::build(
+        &mut sim,
+        1,
+        Bandwidth::from_gbps(1),
+        SimDuration::from_micros(400),
+        QdiscConfig::DropTail { cap: 100 },
+        |_| stack(),
+    );
+    // Drop everything briefly right as the flow starts, then heal.
+    sim.set_link_drop_prob(db.bottleneck, 1.0);
+    let mut d = Driver::new();
+    let c = d.submit(one_flow(&db, 0, 10_000, Scheme::Tcp));
+    d.run(&mut sim, SimTime::from_millis(50), |_, _, _| {});
+    sim.set_link_drop_prob(db.bottleneck, 0.0);
+    d.run(&mut sim, SimTime::from_secs(5), |_, _, _| {});
+    let rec = d.record(c).unwrap();
+    let done = rec.completed.expect("completes after healing");
+    assert!(
+        done >= SimTime::from_millis(200),
+        "completion {done} cannot beat RTOmin"
+    );
+    assert!(rec.rtos >= 1);
+}
+
+#[test]
+fn ecn_keeps_losses_at_zero_under_saturation() {
+    let (mut sim, db) = dumbbell(4, QdiscConfig::EcnThreshold { cap: 100, k: 10 }, 21);
+    let mut d = Driver::new();
+    let conns: Vec<_> = (0..4)
+        .map(|i| d.submit(one_flow(&db, i, u64::MAX, Scheme::xmp(1))))
+        .collect();
+    d.run(&mut sim, SimTime::from_secs(2), |_, _, _| {});
+    let s = &sim.link(db.bottleneck).dir(0).stats;
+    assert_eq!(s.dropped, 0, "ECN flows should never overflow a 100-pkt queue");
+    assert!(s.marked > 100, "marking must be active");
+    // And the link is still nearly fully utilized (the Eq. 1 trade-off).
+    let util = s.utilization(1_000_000_000, sim.now().as_nanos());
+    assert!(util > 0.85, "utilization {util}");
+    for c in conns {
+        d.stop_flow(&mut sim, c);
+    }
+}

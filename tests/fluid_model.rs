@@ -1,0 +1,122 @@
+//! Integration test: the paper's fluid model (Section 2) predicts the
+//! simulated system.
+
+use xmp_suite::core::analysis;
+use xmp_suite::prelude::*;
+
+/// One BOS flow on a 1 Gbps bottleneck: returns (mean window, observed
+/// per-round reduction probability, measured srtt seconds).
+fn steady_state(beta: u32, k: usize) -> (f64, f64, f64) {
+    let mut sim: Sim<Segment> = Sim::new(11);
+    let db = Dumbbell::build(
+        &mut sim,
+        1,
+        Bandwidth::from_gbps(1),
+        SimDuration::from_micros(400),
+        QdiscConfig::EcnThreshold { cap: 400, k },
+        |_| Box::new(HostStack::new(StackConfig::default())),
+    );
+    let mut d = Driver::new();
+    let conn = d.submit(FlowSpecBuilder {
+        src_node: db.sources[0],
+        subflows: vec![SubflowSpec {
+            local_port: PortId(0),
+            src: Dumbbell::src_addr(0),
+            dst: Dumbbell::dst_addr(0),
+        }],
+        size: u64::MAX,
+        scheme: Scheme::Xmp { beta, subflows: 1 },
+        start: SimTime::ZERO,
+        category: None,
+        tag: 0,
+    });
+    d.run(&mut sim, SimTime::from_millis(500), |_, _, _| {});
+    let (mut w_sum, mut n, mut srtt) = (0.0, 0u32, 0.0);
+    for ms in (510..=1500).step_by(10) {
+        d.run(&mut sim, SimTime::from_millis(ms), |_, _, _| {});
+        sim.with_agent::<HostStack, _>(db.sources[0], |st, _| {
+            if let Some(s) = st.sender(conn) {
+                w_sum += s.view()[0].cwnd;
+                n += 1;
+                srtt = s.view()[0].srtt.map_or(srtt, |d| d.as_secs_f64());
+            }
+        });
+    }
+    let p = sim.with_agent::<HostStack, _>(db.sources[0], |st, _| {
+        st.sender(conn)
+            .and_then(|s| s.cc().observed_round_p(0))
+            .unwrap_or(0.0)
+    });
+    (w_sum / f64::from(n), p, srtt)
+}
+
+#[test]
+fn eq3_equilibrium_holds_across_beta_k() {
+    // Observed reductions-per-round must match p = 1/(1 + w/(delta*beta))
+    // at the observed window, for the paper's parameter range.
+    for (beta, k) in [(2u32, 20usize), (4, 10), (6, 10)] {
+        let (w, p_obs, _) = steady_state(beta, k);
+        let p_model = analysis::equilibrium_mark_prob(w, 1.0, f64::from(beta));
+        let rel = (p_obs - p_model).abs() / p_model;
+        assert!(
+            rel < 0.30,
+            "beta={beta} K={k}: observed p {p_obs:.3} vs Eq.3 {p_model:.3} (rel {rel:.2})"
+        );
+    }
+}
+
+#[test]
+fn steady_window_is_one_bdp_of_the_inflated_rtt() {
+    // BOS holds ~BDP(srtt) in flight: the queue contribution is inside the
+    // measured srtt, so w ~ srtt * C / packet.
+    for (beta, k) in [(4u32, 10usize), (4, 20)] {
+        let (w, _, srtt) = steady_state(beta, k);
+        let bdp = srtt * 1e9 / 8.0 / 1500.0;
+        let rel = (w - bdp).abs() / bdp;
+        assert!(
+            rel < 0.25,
+            "beta={beta} K={k}: w={w:.1} vs BDP(srtt)={bdp:.1} (rel {rel:.2})"
+        );
+    }
+}
+
+#[test]
+fn eq1_bound_separates_full_from_partial_utilization() {
+    // Throughput check of Eq. 1 on the real stack: K >= BDP/(beta-1) keeps
+    // goodput near line rate; far below the bound it visibly drops.
+    let goodput = |beta: u32, k: usize| {
+        let mut sim: Sim<Segment> = Sim::new(3);
+        let db = Dumbbell::build(
+            &mut sim,
+            1,
+            Bandwidth::from_gbps(1),
+            SimDuration::from_micros(400),
+            QdiscConfig::EcnThreshold { cap: 200, k },
+            |_| Box::new(HostStack::new(StackConfig::default())),
+        );
+        let mut d = Driver::new();
+        let c = d.submit(FlowSpecBuilder {
+            src_node: db.sources[0],
+            subflows: vec![SubflowSpec {
+                local_port: PortId(0),
+                src: Dumbbell::src_addr(0),
+                dst: Dumbbell::dst_addr(0),
+            }],
+            size: u64::MAX,
+            scheme: Scheme::Xmp { beta, subflows: 1 },
+            start: SimTime::ZERO,
+            category: None,
+            tag: 0,
+        });
+        let mut sampler = RateSampler::new();
+        d.run(&mut sim, SimTime::from_millis(500), |_, _, _| {});
+        sampler.sample(&mut sim, &d, c, 0);
+        d.run(&mut sim, SimTime::from_millis(1500), |_, _, _| {});
+        sampler.sample(&mut sim, &d, c, 0) / 1e9
+    };
+    // BDP = 33 pkts. beta=2 needs K >= 33; K=40 satisfies, K=3 is far under.
+    let high = goodput(2, 40);
+    let low = goodput(2, 3);
+    assert!(high > 0.90, "K above the Eq.1 bound: {high}");
+    assert!(low < high - 0.05, "K far below the bound must cost: {low} vs {high}");
+}

@@ -1,0 +1,188 @@
+//! Property-based cross-crate invariants.
+
+use proptest::prelude::*;
+use xmp_suite::prelude::*;
+
+fn stack() -> Box<HostStack> {
+    Box::new(HostStack::new(StackConfig::default()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any transfer size over a lossy link completes exactly, for every
+    /// scheme (the reassembly + retransmission machinery is watertight).
+    #[test]
+    fn prop_lossy_transfers_are_exact(
+        size in 1u64..2_000_000,
+        drop_pct in 0u32..8,
+        scheme_idx in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let scheme = [Scheme::Tcp, Scheme::Dctcp, Scheme::xmp(1), Scheme::lia(1)][scheme_idx];
+        let mut sim: Sim<Segment> = Sim::new(seed);
+        let db = Dumbbell::build(
+            &mut sim,
+            1,
+            Bandwidth::from_gbps(1),
+            SimDuration::from_micros(400),
+            QdiscConfig::EcnThreshold { cap: 100, k: 10 },
+            |_| stack(),
+        );
+        sim.set_link_drop_prob(db.bottleneck, f64::from(drop_pct) / 100.0);
+        let mut d = Driver::new();
+        let c = d.submit(FlowSpecBuilder {
+            src_node: db.sources[0],
+            subflows: vec![SubflowSpec {
+                local_port: PortId(0),
+                src: Dumbbell::src_addr(0),
+                dst: Dumbbell::dst_addr(0),
+            }],
+            size,
+            scheme,
+            start: SimTime::ZERO,
+            category: None,
+            tag: 0,
+        });
+        d.run(&mut sim, SimTime::from_secs(120), |_, _, _| {});
+        let rec = d.record(c).unwrap();
+        prop_assert!(rec.completed.is_some(),
+            "size={size} drop={drop_pct}% scheme={} never completed", scheme.label());
+        let delivered = sim.with_agent::<HostStack, _>(db.sinks[0], |st, _| {
+            st.receiver(c).map(|r| r.delivered()).unwrap_or(0)
+        });
+        prop_assert_eq!(delivered, size);
+    }
+
+    /// Multipath transfers across the fat tree deliver exactly, for any
+    /// (src, dst, subflow-count) combination.
+    #[test]
+    fn prop_fat_tree_multipath_exact(
+        src in 0usize..16,
+        dst in 0usize..16,
+        n_subflows in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(src != dst);
+        let mut sim: Sim<Segment> = Sim::new(seed);
+        let cfg = FatTreeConfig {
+            k: 4,
+            ..FatTreeConfig::paper(QdiscConfig::EcnThreshold { cap: 100, k: 10 })
+        };
+        let ft = FatTree::build(&mut sim, &cfg, |_| stack());
+        let mut rng = SimRng::new(seed);
+        let subflows = xmp_suite::workloads::patterns::fat_tree_subflows(
+            &ft, src, dst, n_subflows, &mut rng,
+        );
+        let size = 500_000u64 + seed * 1000;
+        let mut d = Driver::new();
+        let c = d.submit(FlowSpecBuilder {
+            src_node: ft.host(src),
+            subflows,
+            size,
+            scheme: Scheme::Xmp { beta: 4, subflows: n_subflows },
+            start: SimTime::ZERO,
+            category: Some(ft.category(src, dst)),
+            tag: 0,
+        });
+        d.run(&mut sim, SimTime::from_secs(30), |_, _, _| {});
+        prop_assert!(d.record(c).unwrap().completed.is_some());
+        let delivered = sim.with_agent::<HostStack, _>(ft.host(dst), |st, _| {
+            st.receiver(c).map(|r| r.delivered()).unwrap_or(0)
+        });
+        prop_assert_eq!(delivered, size);
+    }
+
+    /// Network-wide packet conservation: for every link direction,
+    /// enqueued = delivered + still queued/in flight, and offered =
+    /// enqueued + dropped + fault-dropped.
+    #[test]
+    fn prop_link_packet_conservation(seed in 0u64..50, drop_pct in 0u32..20) {
+        let mut sim: Sim<Segment> = Sim::new(seed);
+        let db = Dumbbell::build(
+            &mut sim,
+            2,
+            Bandwidth::from_mbps(100),
+            SimDuration::from_micros(400),
+            QdiscConfig::DropTail { cap: 20 },
+            |_| stack(),
+        );
+        sim.set_link_drop_prob(db.bottleneck, f64::from(drop_pct) / 100.0);
+        let mut d = Driver::new();
+        for i in 0..2 {
+            d.submit(FlowSpecBuilder {
+                src_node: db.sources[i],
+                subflows: vec![SubflowSpec {
+                    local_port: PortId(0),
+                    src: Dumbbell::src_addr(i),
+                    dst: Dumbbell::dst_addr(i),
+                }],
+                size: 300_000,
+                scheme: Scheme::Tcp,
+                start: SimTime::ZERO,
+                category: None,
+                tag: 0,
+            });
+        }
+        d.run(&mut sim, SimTime::from_millis(200), |_, _, _| {});
+        for (_, link) in sim.links() {
+            for dir in &link.dirs {
+                let s = &dir.stats;
+                let resident = dir.queue.len() as u64 + u64::from(dir.in_flight.is_some());
+                prop_assert_eq!(
+                    s.enqueued, s.delivered + resident,
+                    "enqueued {} != delivered {} + resident {}",
+                    s.enqueued, s.delivered, resident
+                );
+            }
+        }
+    }
+
+    /// Determinism holds across every scheme: running twice with the same
+    /// seed yields identical completion times.
+    #[test]
+    fn prop_determinism_all_schemes(scheme_idx in 0usize..6, seed in 0u64..30) {
+        let scheme = [
+            Scheme::Tcp,
+            Scheme::Dctcp,
+            Scheme::xmp(1),
+            Scheme::xmp(2),
+            Scheme::lia(2),
+            Scheme::Olia { subflows: 2 },
+        ][scheme_idx];
+        let run = || {
+            let mut sim: Sim<Segment> = Sim::new(seed);
+            let db = Dumbbell::build(
+                &mut sim,
+                1,
+                Bandwidth::from_mbps(500),
+                SimDuration::from_micros(400),
+                QdiscConfig::EcnThreshold { cap: 100, k: 10 },
+                |_| stack(),
+            );
+            let mut d = Driver::new();
+            let specs = vec![
+                SubflowSpec {
+                    local_port: PortId(0),
+                    src: Dumbbell::src_addr(0),
+                    dst: Dumbbell::dst_addr(0),
+                };
+                scheme.subflow_count()
+            ];
+            let c = d.submit(FlowSpecBuilder {
+                src_node: db.sources[0],
+                subflows: specs,
+                size: 777_777,
+                scheme,
+                start: SimTime::ZERO,
+                category: None,
+                tag: 0,
+            });
+            d.run(&mut sim, SimTime::from_secs(20), |_, _, _| {});
+            d.record(c).unwrap().completed.map(|t| t.as_nanos())
+        };
+        let a = run();
+        prop_assert!(a.is_some());
+        prop_assert_eq!(a, run());
+    }
+}
