@@ -1,8 +1,6 @@
 //! Regenerates the extension artifacts (beta/K sweep, coupling ablation,
 //! OLIA comparison) at bench scale, then measures one sweep point.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use xmp_bench::criterion_config;
 use xmp_des::SimDuration;
 use xmp_experiments::ablation::{self, AblationConfig};
 use xmp_experiments::suite::{Pattern, SuiteConfig};
@@ -21,13 +19,9 @@ fn tiny() -> AblationConfig {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let cfg = tiny();
     eprintln!("{}", ablation::run(&cfg));
-    c.bench_function("ablation_beta_k_sweep", |b| {
-        b.iter(|| std::hint::black_box(ablation::run(&cfg)))
-    });
+    xmp_bench::bench_main("ablation_beta_k_sweep", || std::hint::black_box(ablation::run(&cfg)));
 }
 
-criterion_group! { name = benches; config = criterion_config(); targets = bench }
-criterion_main!(benches);

@@ -1,8 +1,6 @@
 //! Regenerates paper Fig. 1 (DCTCP vs constant-factor cut, K in {10, 20})
 //! at bench scale and measures the simulation cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use xmp_bench::criterion_config;
 use xmp_des::SimDuration;
 use xmp_experiments::fig1;
 
@@ -14,13 +12,9 @@ fn tiny() -> fig1::Fig1Config {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let cfg = tiny();
     eprintln!("{}", fig1::run(&cfg));
-    c.bench_function("fig1_four_variants", |b| {
-        b.iter(|| std::hint::black_box(fig1::run(&cfg)))
-    });
+    xmp_bench::bench_main("fig1_four_variants", || std::hint::black_box(fig1::run(&cfg)));
 }
 
-criterion_group! { name = benches; config = criterion_config(); targets = bench }
-criterion_main!(benches);

@@ -1,8 +1,6 @@
 //! Regenerates paper Fig. 10 (RTT distributions by locality) at bench
 //! scale, then measures one suite run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use xmp_bench::criterion_config;
 use xmp_experiments::suite::{render_fig10, run_suite, Pattern, SuiteConfig};
 use xmp_workloads::Scheme;
 
@@ -13,17 +11,13 @@ fn tiny(scheme: Scheme) -> SuiteConfig {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let results: Vec<_> = [Scheme::Dctcp, Scheme::lia(2), Scheme::xmp(2)]
         .iter()
         .map(|&s| run_suite(&tiny(s)))
         .collect();
     eprintln!("{}", render_fig10(&results, Pattern::Random));
     let cfg = tiny(Scheme::xmp(2));
-    c.bench_function("fig10_rtt_distribution_run", |b| {
-        b.iter(|| std::hint::black_box(run_suite(&cfg)))
-    });
+    xmp_bench::bench_main("fig10_rtt_distribution_run", || std::hint::black_box(run_suite(&cfg)));
 }
 
-criterion_group! { name = benches; config = criterion_config(); targets = bench }
-criterion_main!(benches);

@@ -1,8 +1,6 @@
 //! Regenerates paper Fig. 11 (link utilization by layer) at bench scale,
 //! then measures one suite run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use xmp_bench::criterion_config;
 use xmp_experiments::suite::{render_fig11, run_suite, Pattern, SuiteConfig};
 use xmp_workloads::Scheme;
 
@@ -13,17 +11,13 @@ fn tiny(scheme: Scheme) -> SuiteConfig {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let results: Vec<_> = [Scheme::Dctcp, Scheme::xmp(2), Scheme::xmp(4)]
         .iter()
         .map(|&s| run_suite(&tiny(s)))
         .collect();
     eprintln!("{}", render_fig11(&results, Pattern::Permutation));
     let cfg = tiny(Scheme::xmp(2));
-    c.bench_function("fig11_utilization_run", |b| {
-        b.iter(|| std::hint::black_box(run_suite(&cfg)))
-    });
+    xmp_bench::bench_main("fig11_utilization_run", || std::hint::black_box(run_suite(&cfg)));
 }
 
-criterion_group! { name = benches; config = criterion_config(); targets = bench }
-criterion_main!(benches);

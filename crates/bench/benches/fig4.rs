@@ -1,8 +1,6 @@
 //! Regenerates paper Fig. 4 (traffic shifting on the Fig. 3a testbed) at
 //! bench scale and measures the simulation cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use xmp_bench::criterion_config;
 use xmp_des::SimDuration;
 use xmp_experiments::fig4;
 
@@ -15,13 +13,9 @@ fn tiny() -> fig4::Fig4Config {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let cfg = tiny();
     eprintln!("{}", fig4::run(&cfg));
-    c.bench_function("fig4_shift_beta4_beta6", |b| {
-        b.iter(|| std::hint::black_box(fig4::run(&cfg)))
-    });
+    xmp_bench::bench_main("fig4_shift_beta4_beta6", || std::hint::black_box(fig4::run(&cfg)));
 }
 
-criterion_group! { name = benches; config = criterion_config(); targets = bench }
-criterion_main!(benches);

@@ -1,8 +1,6 @@
 //! Regenerates paper Fig. 6 (fairness with 3/2/1/1 subflows) at bench
 //! scale and measures the simulation cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use xmp_bench::criterion_config;
 use xmp_des::SimDuration;
 use xmp_experiments::fig6;
 
@@ -15,13 +13,9 @@ fn tiny() -> fig6::Fig6Config {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let cfg = tiny();
     eprintln!("{}", fig6::run(&cfg));
-    c.bench_function("fig6_fairness_beta4_beta6", |b| {
-        b.iter(|| std::hint::black_box(fig6::run(&cfg)))
-    });
+    xmp_bench::bench_main("fig6_fairness_beta4_beta6", || std::hint::black_box(fig6::run(&cfg)));
 }
 
-criterion_group! { name = benches; config = criterion_config(); targets = bench }
-criterion_main!(benches);

@@ -1,8 +1,6 @@
 //! Regenerates paper Fig. 7 (torus rate compensation) at bench scale and
 //! measures the simulation cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use xmp_bench::criterion_config;
 use xmp_des::SimDuration;
 use xmp_experiments::fig7;
 
@@ -14,13 +12,9 @@ fn tiny() -> fig7::Fig7Config {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let cfg = tiny();
     eprintln!("{}", fig7::run(&cfg));
-    c.bench_function("fig7_torus_beta4", |b| {
-        b.iter(|| std::hint::black_box(fig7::run(&cfg)))
-    });
+    xmp_bench::bench_main("fig7_torus_beta4", || std::hint::black_box(fig7::run(&cfg)));
 }
 
-criterion_group! { name = benches; config = criterion_config(); targets = bench }
-criterion_main!(benches);

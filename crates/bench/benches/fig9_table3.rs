@@ -1,8 +1,6 @@
 //! Regenerates paper Fig. 9 + Table 3 (Incast job completion times) at
 //! bench scale, then measures one Incast suite run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use xmp_bench::criterion_config;
 use xmp_experiments::suite::{render_jobs, run_suite, Pattern, SuiteConfig};
 use xmp_workloads::Scheme;
 
@@ -13,7 +11,7 @@ fn tiny(scheme: Scheme) -> SuiteConfig {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let results: Vec<_> = [Scheme::Dctcp, Scheme::xmp(2)]
         .iter()
         .map(|&s| run_suite(&tiny(s)))
@@ -22,10 +20,6 @@ fn bench(c: &mut Criterion) {
         eprintln!("{t}");
     }
     let cfg = tiny(Scheme::xmp(2));
-    c.bench_function("fig9_table3_incast_run", |b| {
-        b.iter(|| std::hint::black_box(run_suite(&cfg)))
-    });
+    xmp_bench::bench_main("fig9_table3_incast_run", || std::hint::black_box(run_suite(&cfg)));
 }
 
-criterion_group! { name = benches; config = criterion_config(); targets = bench }
-criterion_main!(benches);

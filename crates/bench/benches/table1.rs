@@ -2,8 +2,6 @@
 //! Permutation / Random / Incast) at bench scale, then measures one
 //! representative suite run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use xmp_bench::criterion_config;
 use xmp_experiments::suite::{render_table1, run_suite, Pattern, SuiteConfig};
 use xmp_workloads::Scheme;
 
@@ -14,7 +12,7 @@ fn tiny(scheme: Scheme, pattern: Pattern) -> SuiteConfig {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let schemes = [Scheme::Dctcp, Scheme::lia(2), Scheme::xmp(2)];
     let patterns = [Pattern::Permutation, Pattern::Random];
     let results: Vec<_> = patterns
@@ -23,10 +21,6 @@ fn bench(c: &mut Criterion) {
         .collect();
     eprintln!("{}", render_table1(&results));
     let cfg = tiny(Scheme::xmp(2), Pattern::Permutation);
-    c.bench_function("table1_suite_run_xmp2_permutation", |b| {
-        b.iter(|| std::hint::black_box(run_suite(&cfg)))
-    });
+    xmp_bench::bench_main("table1_suite_run_xmp2_permutation", || std::hint::black_box(run_suite(&cfg)));
 }
 
-criterion_group! { name = benches; config = criterion_config(); targets = bench }
-criterion_main!(benches);

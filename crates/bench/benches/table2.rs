@@ -1,13 +1,11 @@
 //! Regenerates paper Table 2 (XMP-2 coexisting with TCP) at bench scale,
 //! then measures one coexistence cell.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use xmp_bench::criterion_config;
 use xmp_experiments::suite::{run_suite, Pattern, SuiteConfig};
 use xmp_experiments::table2;
 use xmp_workloads::Scheme;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     // Render at the meaningful k=8 scale once (coexistence needs path
     // diversity), then benchmark a small k=4 cell.
     let cfg = table2::Table2Config::quick();
@@ -18,10 +16,6 @@ fn bench(c: &mut Criterion) {
         queue_cap: 50,
         ..SuiteConfig::quick(Scheme::xmp(2), Pattern::Random)
     };
-    c.bench_function("table2_coexistence_cell", |b| {
-        b.iter(|| std::hint::black_box(run_suite(&cell)))
-    });
+    xmp_bench::bench_main("table2_coexistence_cell", || std::hint::black_box(run_suite(&cell)));
 }
 
-criterion_group! { name = benches; config = criterion_config(); targets = bench }
-criterion_main!(benches);

@@ -1,0 +1,232 @@
+//! Perf snapshot for the hot-path overhaul, written to `BENCH_pr1.json`
+//! (run from the repo root, e.g. via `scripts/bench.sh`).
+//!
+//! Sections:
+//!
+//! 1. **Scheduler microbench** — the timing-wheel [`EventQueue`] against
+//!    the retained [`BinaryHeapQueue`] baseline on an identical synthetic
+//!    dumbbell-profile workload (hold model: every pop schedules a
+//!    replacement; deltas mix packet-serialization times, multi-ms flow
+//!    gaps and 200 ms RTO-scale timers, matching the event population a
+//!    real run keeps pending). Both queues consume the same [`SimRng`]
+//!    stream, and a fold over the popped timestamps cross-checks that they
+//!    did the same work in the same order.
+//! 2. **Scaled-down fig1** wall clock (whole-simulation cost).
+//! 3. **Table 1 cell** wall clock (one quick fat-tree suite run).
+//! 4. **Suite parallelism** — a 4-cell `(scheme, pattern, seed)` batch run
+//!    serially vs through `run_suite_parallel`, with a byte-identity check
+//!    on the Debug rendering of the results. The speedup criterion only
+//!    binds on multi-core hosts; `host.parallelism` records what this
+//!    machine offers.
+
+use std::time::Instant;
+use xmp_bench::{measure, BenchConfig, Json, Sample};
+use xmp_des::{BinaryHeapQueue, EventQueue, SimDuration, SimRng, SimTime};
+use xmp_experiments::fig1;
+use xmp_experiments::suite::{run_suite, run_suite_parallel, Pattern, SuiteConfig};
+use xmp_workloads::Scheme;
+
+/// Minimal scheduler interface so one driver exercises both queues.
+trait Sched {
+    fn push(&mut self, at: SimTime);
+    fn pop(&mut self) -> Option<SimTime>;
+}
+
+impl Sched for EventQueue<u32> {
+    fn push(&mut self, at: SimTime) {
+        EventQueue::push(self, at, 0);
+    }
+    fn pop(&mut self) -> Option<SimTime> {
+        EventQueue::pop(self).map(|ev| ev.at)
+    }
+}
+
+impl Sched for BinaryHeapQueue<u32> {
+    fn push(&mut self, at: SimTime) {
+        BinaryHeapQueue::push(self, at, 0);
+    }
+    fn pop(&mut self) -> Option<SimTime> {
+        BinaryHeapQueue::pop(self).map(|ev| ev.at)
+    }
+}
+
+/// Pre-generated hold deltas (nanoseconds to the replacement event), so
+/// the timed loop below measures the scheduler and nothing else — both
+/// implementations replay the identical stream.
+fn gen_deltas(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = SimRng::new(seed);
+    (0..n)
+        .map(|_| {
+            let roll = rng.index(100);
+            if roll < 80 {
+                // Packet-scale: serialization + switch hops at 1 Gbps.
+                1 + rng.index(40_000) as u64
+            } else if roll < 98 {
+                // Flow-scale gaps: delayed ACK timers, application pauses.
+                1 + rng.index(2_000_000) as u64
+            } else {
+                // RTO-scale far timers that cross the wheel horizon.
+                200_000_000
+            }
+        })
+        .collect()
+}
+
+/// Hold-model drive: prime `population` events, then one pop+push round
+/// per remaining delta, then drain. Returns a checksum over every popped
+/// timestamp so the two implementations can be cross-checked.
+fn drive<Q: Sched>(q: &mut Q, deltas: &[u64], population: usize) -> u64 {
+    let (prime, hold) = deltas.split_at(population);
+    for &d in prime {
+        q.push(SimTime::ZERO + SimDuration::from_nanos(d));
+    }
+    let mut checksum = 0u64;
+    for &d in hold {
+        let at = q.pop().expect("population keeps the queue non-empty");
+        checksum = checksum.rotate_left(7) ^ at.as_nanos();
+        q.push(at + SimDuration::from_nanos(d));
+    }
+    while let Some(at) = q.pop() {
+        checksum = checksum.rotate_left(7) ^ at.as_nanos();
+    }
+    checksum
+}
+
+fn events_per_sec(ops: usize, population: usize, s: Sample) -> f64 {
+    // Every op pops one event and every primed event eventually pops too.
+    (ops + population) as f64 / (s.median_ns as f64 / 1e9)
+}
+
+fn scheduler_section() -> Json {
+    const POPULATION: usize = 262_144;
+    const OPS: usize = 1_000_000;
+    const SEED: u64 = 7;
+    let cfg = BenchConfig { warmup: 1, trials: 7 };
+    let deltas = gen_deltas(SEED, POPULATION + OPS);
+
+    let mut wheel_sum = 0u64;
+    let wheel = measure(cfg, || {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        wheel_sum = drive(&mut q, &deltas, POPULATION);
+    });
+    let mut heap_sum = 0u64;
+    let heap = measure(cfg, || {
+        let mut q: BinaryHeapQueue<u32> = BinaryHeapQueue::new();
+        heap_sum = drive(&mut q, &deltas, POPULATION);
+    });
+    assert_eq!(
+        wheel_sum, heap_sum,
+        "wheel and heap popped different event sequences"
+    );
+
+    let wheel_eps = events_per_sec(OPS, POPULATION, wheel);
+    let heap_eps = events_per_sec(OPS, POPULATION, heap);
+    let speedup = wheel_eps / heap_eps;
+    println!(
+        "scheduler: wheel {:.2} Mev/s vs heap {:.2} Mev/s — {:.2}x",
+        wheel_eps / 1e6,
+        heap_eps / 1e6,
+        speedup
+    );
+    Json::obj()
+        .set("workload", "dumbbell hold-model: 80% <=40us, 18% <=2ms, 2% 200ms RTO")
+        .set("population", POPULATION)
+        .set("ops", OPS)
+        .set("checksums_match", true)
+        .set(
+            "timing_wheel",
+            Json::from(wheel).set("events_per_sec", wheel_eps),
+        )
+        .set(
+            "binary_heap",
+            Json::from(heap).set("events_per_sec", heap_eps),
+        )
+        .set("speedup", speedup)
+}
+
+fn fig1_section() -> Json {
+    let cfg = fig1::Fig1Config {
+        interval: SimDuration::from_millis(100),
+        bin: SimDuration::from_millis(20),
+        seed: 1,
+    };
+    let s = measure(BenchConfig::heavy(), || {
+        std::hint::black_box(fig1::run(&cfg));
+    });
+    println!("fig1 (scaled down): {s}");
+    Json::from(s).set("config", "interval 100ms, bin 20ms, seed 1")
+}
+
+fn table1_section() -> Json {
+    let cfg = SuiteConfig {
+        target_flows: 16,
+        ..SuiteConfig::quick(Scheme::xmp(2), Pattern::Permutation)
+    };
+    let s = measure(BenchConfig::heavy(), || {
+        std::hint::black_box(run_suite(&cfg));
+    });
+    println!("table1 cell (quick, XMP-2/Permutation): {s}");
+    Json::from(s).set("config", "quick k=4, 16 flows, XMP-2 / Permutation")
+}
+
+fn parallel_section() -> Json {
+    let cell = |scheme, pattern, seed| SuiteConfig {
+        target_flows: 12,
+        max_sim: SimDuration::from_secs(4),
+        seed,
+        ..SuiteConfig::quick(scheme, pattern)
+    };
+    let cells = [
+        cell(Scheme::xmp(2), Pattern::Permutation, 1),
+        cell(Scheme::Dctcp, Pattern::Permutation, 2),
+        cell(Scheme::lia(2), Pattern::Random, 3),
+        cell(Scheme::xmp(2), Pattern::Random, 4),
+    ];
+
+    let t0 = Instant::now();
+    let serial: Vec<_> = cells.iter().map(run_suite).collect();
+    let serial_ns = t0.elapsed().as_nanos() as u64;
+
+    let t1 = Instant::now();
+    let parallel = run_suite_parallel(&cells);
+    let parallel_ns = t1.elapsed().as_nanos() as u64;
+
+    let identical = serial
+        .iter()
+        .zip(parallel.iter())
+        .all(|(a, b)| format!("{a:?}") == format!("{b:?}"));
+    assert!(identical, "parallel suite diverged from serial");
+
+    let speedup = serial_ns as f64 / parallel_ns as f64;
+    println!(
+        "suite 4 cells: serial {:.1} ms, parallel {:.1} ms — {:.2}x",
+        serial_ns as f64 / 1e6,
+        parallel_ns as f64 / 1e6,
+        speedup
+    );
+    Json::obj()
+        .set("cells", cells.len())
+        .set("serial_ms", serial_ns as f64 / 1e6)
+        .set("parallel_ms", parallel_ns as f64 / 1e6)
+        .set("speedup", speedup)
+        .set("results_identical", identical)
+}
+
+fn main() {
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let report = Json::obj()
+        .set(
+            "host",
+            Json::obj().set("parallelism", parallelism).set(
+                "note",
+                "suite speedup only binds on multi-core hosts (ISSUE: >=4 cores)",
+            ),
+        )
+        .set("scheduler_microbench", scheduler_section())
+        .set("fig1_small", fig1_section())
+        .set("table1_cell_quick", table1_section())
+        .set("suite_parallel", parallel_section());
+    let out = report.render();
+    std::fs::write("BENCH_pr1.json", &out).expect("write BENCH_pr1.json");
+    println!("wrote BENCH_pr1.json");
+}

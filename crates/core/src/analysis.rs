@@ -69,7 +69,7 @@ pub fn bos_converged_rate(delta: f64, beta: f64, t: f64, p: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use xmp_des::SimRng;
 
     #[test]
     fn eq3_and_its_inverse_agree() {
@@ -131,39 +131,49 @@ mod tests {
         assert!((equilibrium_mark_prob(w, delta, beta) - p).abs() < 1e-12);
     }
 
-    proptest! {
-        /// Proposition 1 on the closed forms: p_r < U'(y) implies the Eq. 9
-        /// update raises delta (for any positive rates/RTTs).
-        #[test]
-        fn prop_proposition_1_closed_form(
-            t_r in 1e-4f64..1e-2,
-            t_s_frac in 0.1f64..1.0,
-            x_r in 1e2f64..1e6,
-            y_extra in 0.0f64..1e6,
-            delta in 0.01f64..8.0,
-            beta in 2.0f64..8.0,
-        ) {
-            let t_s = t_r * t_s_frac; // T_s = min rtt <= T_r
-            let y = x_r + y_extra;
+    /// Proposition 1 on the closed forms: p_r < U'(y) implies the Eq. 9
+    /// update raises delta (for any positive rates/RTTs). 500 seeded
+    /// cases; the failing seed is printed.
+    #[test]
+    fn proposition_1_closed_form_seeded() {
+        for seed in 0..500u64 {
+            let mut rng = SimRng::new(seed);
+            let t_r = 1e-4 + rng.unit_f64() * (1e-2 - 1e-4);
+            let t_s = t_r * (0.1 + rng.unit_f64() * 0.9); // T_s = min rtt <= T_r
+            let x_r = 1e2 + rng.unit_f64() * (1e6 - 1e2);
+            let y = x_r + rng.unit_f64() * 1e6;
+            let delta = 0.01 + rng.unit_f64() * 7.99;
+            let beta = 2.0 + rng.unit_f64() * 6.0;
             let p_r = subflow_equilibrium_mark_prob(x_r, t_r, delta, beta);
             let u = xmp_utility_prime(y, beta, t_s);
             let new_delta = trash_fixed_point(t_r, x_r, t_s, y);
             if p_r < u {
-                prop_assert!(new_delta > delta,
-                    "p={p_r} < U'={u} but {delta} -> {new_delta}");
+                assert!(
+                    new_delta > delta,
+                    "seed {seed}: p={p_r} < U'={u} but {delta} -> {new_delta}"
+                );
             }
             if p_r > u {
-                prop_assert!(new_delta < delta);
+                assert!(
+                    new_delta < delta,
+                    "seed {seed}: p={p_r} > U'={u} but {delta} -> {new_delta}"
+                );
             }
         }
+    }
 
-        /// Mark probability is within (0, 1] and decreasing in the window.
-        #[test]
-        fn prop_mark_prob_monotone(w in 0.0f64..1e4, d in 0.01f64..8.0, b in 2.0f64..8.0) {
+    /// Mark probability is within (0, 1] and decreasing in the window.
+    #[test]
+    fn mark_prob_monotone_seeded() {
+        for seed in 0..500u64 {
+            let mut rng = SimRng::new(seed);
+            let w = rng.unit_f64() * 1e4;
+            let d = 0.01 + rng.unit_f64() * 7.99;
+            let b = 2.0 + rng.unit_f64() * 6.0;
             let p = equilibrium_mark_prob(w, d, b);
-            prop_assert!(p > 0.0 && p <= 1.0);
+            assert!(p > 0.0 && p <= 1.0, "seed {seed}: p={p}");
             let p2 = equilibrium_mark_prob(w + 1.0, d, b);
-            prop_assert!(p2 < p);
+            assert!(p2 < p, "seed {seed}: not decreasing at w={w}");
         }
     }
 }

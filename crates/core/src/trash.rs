@@ -50,7 +50,7 @@ pub const MAX_DELTA: f64 = 8.0;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use xmp_des::SimRng;
     use xmp_des::SimDuration;
 
     fn sub(cwnd: f64, rtt_us: u64) -> SubflowCc {
@@ -115,36 +115,39 @@ mod tests {
         assert!(delta_for(0, &v) <= MAX_DELTA);
     }
 
-    proptest! {
-        /// With equal RTTs, deltas are window-proportional and sum to 1 —
-        /// except that near-starved subflows are clamped *up* to
-        /// MIN_DELTA, so the sum lands in [1, 1 + n·MIN_DELTA].
-        #[test]
-        fn prop_equal_rtt_deltas_sum_to_one(
-            w in proptest::collection::vec(2.0f64..100.0, 2..5)
-        ) {
-            let v: Vec<SubflowCc> = w.iter().map(|&c| sub(c, 250)).collect();
+    /// With equal RTTs, deltas are window-proportional and sum to 1 —
+    /// except that near-starved subflows are clamped *up* to MIN_DELTA,
+    /// so the sum lands in [1, 1 + n*MIN_DELTA]. 250 seeded cases.
+    #[test]
+    fn equal_rtt_deltas_sum_to_one_seeded() {
+        for seed in 0..250u64 {
+            let mut rng = SimRng::new(seed);
+            let n = 2 + rng.index(3);
+            let v: Vec<SubflowCc> = (0..n)
+                .map(|_| sub(2.0 + rng.unit_f64() * 98.0, 250))
+                .collect();
             let sum: f64 = (0..v.len()).map(|r| delta_for(r, &v)).sum();
             let upper = 1.0 + v.len() as f64 * MIN_DELTA;
-            prop_assert!(
+            assert!(
                 (1.0 - 1e-6..=upper + 1e-6).contains(&sum),
-                "sum={sum} upper={upper}"
+                "seed {seed}: sum={sum} upper={upper}"
             );
         }
+    }
 
-        /// Proposition 1, computational form: if subflow r's equilibrium
-        /// marking probability is below the aggregate congestion U'(y),
-        /// the recomputed delta exceeds the current one.
-        #[test]
-        fn prop_proposition_1(
-            cwnd_a in 2.0f64..60.0,
-            cwnd_b in 2.0f64..60.0,
-            rtt_a in 100u64..2000,
-            rtt_b in 100u64..2000,
-            delta_r in 0.05f64..4.0,
-            beta in 2u32..=6,
-        ) {
-            let beta = f64::from(beta);
+    /// Proposition 1, computational form: if subflow r's equilibrium
+    /// marking probability is below the aggregate congestion U'(y),
+    /// the recomputed delta exceeds the current one. 250 seeded cases.
+    #[test]
+    fn proposition_1_seeded() {
+        for seed in 0..250u64 {
+            let mut rng = SimRng::new(seed);
+            let cwnd_a = 2.0 + rng.unit_f64() * 58.0;
+            let cwnd_b = 2.0 + rng.unit_f64() * 58.0;
+            let rtt_a = rng.uniform_u64(100, 1999);
+            let rtt_b = rng.uniform_u64(100, 1999);
+            let delta_r = 0.05 + rng.unit_f64() * 3.95;
+            let beta = (2 + rng.index(5)) as f64;
             let v = vec![sub(cwnd_a, rtt_a), sub(cwnd_b, rtt_b)];
             let t_r = rtt_a as f64 * 1e-6;
             let t_s = (rtt_a.min(rtt_b)) as f64 * 1e-6;
@@ -155,9 +158,9 @@ mod tests {
             let u_prime = 1.0 / (1.0 + y * t_s / beta);
             let new_delta = delta_for(0, &v);
             if p_r < u_prime && (MIN_DELTA..MAX_DELTA).contains(&new_delta) {
-                prop_assert!(
+                assert!(
                     new_delta > delta_r,
-                    "p={p_r} < U'={u_prime} but delta {delta_r} -> {new_delta}"
+                    "seed {seed}: p={p_r} < U'={u_prime} but delta {delta_r} -> {new_delta}"
                 );
             }
         }

@@ -335,62 +335,64 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use xmp_des::SimRng;
 
-        proptest! {
-            /// Under arbitrary ack streams, XMP's invariants hold:
-            /// cwnd >= 2 and delta stays within the TraSh clamps.
-            /// (The once-per-window reduction guarantee is deterministic
-            /// and covered by `bos::tests::at_most_one_reduction_per_round`;
-            /// it is *per window of data*, not per beg_seq round, so a
-            /// rounds-based bound would be the wrong invariant.)
-            #[test]
-            fn prop_xmp_invariants(
-                steps in proptest::collection::vec((0u64..3, 0u8..4), 1..300),
-                beta in 2u32..8,
-            ) {
+        /// Under arbitrary ack streams, XMP's invariants hold:
+        /// cwnd >= 2 and delta stays within the TraSh clamps.
+        /// (The once-per-window reduction guarantee is deterministic
+        /// and covered by `bos::tests::at_most_one_reduction_per_round`;
+        /// it is *per window of data*, not per beg_seq round, so a
+        /// rounds-based bound would be the wrong invariant.)
+        /// 250 seeded ack streams; the failing seed is printed.
+        #[test]
+        fn xmp_invariants_seeded() {
+            for seed in 0..250u64 {
+                let mut rng = SimRng::new(seed);
+                let beta = 2 + rng.index(6) as u32;
+                let steps = 1 + rng.index(299);
                 let mut cc = Xmp::new(beta);
                 cc.init(2);
                 let mut v = vec![sub(10.0, 200, 0), sub(10.0, 300, 0)];
                 let mut acks = [0u64; 2];
-                for (advance, ce) in steps {
+                for _ in 0..steps {
+                    let advance = rng.index(3) as u64;
+                    let ce = rng.index(4) as u8;
                     #[allow(clippy::needless_range_loop)] // r indexes two arrays
                     for r in 0..2 {
                         acks[r] += advance * 1460;
                         v[r].snd_una = acks[r];
                         // Realistic sender: snd_nxt leads by a full window.
                         v[r].snd_nxt = acks[r] + (v[r].cwnd as u64) * 1460;
-                        cc.on_ack(
-                            r,
-                            &info(acks[r], advance * 1460, ce.min(3)),
-                            &mut v,
-                        );
-                        prop_assert!(v[r].cwnd >= 2.0, "cwnd {}", v[r].cwnd);
+                        cc.on_ack(r, &info(acks[r], advance * 1460, ce.min(3)), &mut v);
+                        assert!(v[r].cwnd >= 2.0, "seed {seed}: cwnd {}", v[r].cwnd);
                         let d = cc.delta(r);
-                        prop_assert!(
-                            (crate::trash::MIN_DELTA..=crate::trash::MAX_DELTA)
-                                .contains(&d),
-                            "delta {d}"
+                        assert!(
+                            (crate::trash::MIN_DELTA..=crate::trash::MAX_DELTA).contains(&d),
+                            "seed {seed}: delta {d}"
                         );
                     }
                 }
             }
+        }
 
-            /// The observed p never exceeds 1 and matches the counters.
-            #[test]
-            fn prop_observed_p_consistent(marks in proptest::collection::vec(any::<bool>(), 1..200)) {
+        /// The observed p never exceeds 1 and matches the counters.
+        #[test]
+        fn observed_p_consistent_seeded() {
+            for seed in 0..250u64 {
+                let mut rng = SimRng::new(seed);
+                let marks = 1 + rng.index(199);
                 let mut cc = Xmp::new(4);
                 cc.init(1);
                 let mut v = vec![sub(20.0, 200, 0)];
                 let mut ack = 0u64;
-                for m in marks {
+                for _ in 0..marks {
                     ack += 14_600;
                     v[0].snd_una = ack;
                     v[0].snd_nxt = ack + 14_600;
-                    cc.on_ack(0, &info(ack, 1460, u8::from(m)), &mut v);
+                    cc.on_ack(0, &info(ack, 1460, u8::from(rng.chance(0.5))), &mut v);
                 }
                 let p = cc.observed_round_p(0).unwrap();
-                prop_assert!((0.0..=1.0).contains(&p));
+                assert!((0.0..=1.0).contains(&p), "seed {seed}: p={p}");
             }
         }
     }

@@ -71,6 +71,17 @@ impl<E> Engine<E> {
         Some((ev.at, ev.event))
     }
 
+    /// Pop the earliest event **iff** it fires at or before `deadline`,
+    /// advancing the clock to its timestamp. One queue access per event —
+    /// the hot-path replacement for a `peek_time` + `pop` pair.
+    pub fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        let ev = self.queue.pop_at_or_before(deadline)?;
+        debug_assert!(ev.at >= self.now, "event queue went backwards");
+        self.now = ev.at;
+        self.processed += 1;
+        Some((ev.at, ev.event))
+    }
+
     /// Timestamp of the next pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.queue.peek_time()
@@ -93,12 +104,39 @@ impl<E> Engine<E> {
     /// handled event. Returns the number of events handled.
     pub fn run_until(&mut self, deadline: SimTime, mut handler: impl FnMut(&mut Self, E)) -> u64 {
         let start = self.processed;
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
+        while let Some((_, ev)) = self.pop_at_or_before(deadline) {
+            handler(self, ev);
+        }
+        self.processed - start
+    }
+
+    /// [`Engine::run_until`] with an event budget: processes at most
+    /// `budget` events, and **panics** if the budget is exhausted while
+    /// events at or before `deadline` are still pending. A runaway
+    /// self-rescheduling loop (an agent arming a zero-delay timer from its
+    /// own expiry, say) thus fails loudly with a diagnosable message
+    /// instead of hanging the run forever.
+    pub fn run_until_budgeted(
+        &mut self,
+        deadline: SimTime,
+        budget: u64,
+        mut handler: impl FnMut(&mut Self, E),
+    ) -> u64 {
+        let start = self.processed;
+        while let Some((_, ev)) = self.pop_at_or_before(deadline) {
+            handler(self, ev);
+            if self.processed - start >= budget {
+                if let Some(t) = self.queue.peek_time() {
+                    assert!(
+                        t > deadline,
+                        "event budget of {budget} exhausted at {:?} with events \
+                         still pending at {t:?} (deadline {deadline:?}) — \
+                         runaway self-rescheduling loop?",
+                        self.now
+                    );
+                }
                 break;
             }
-            let (_, ev) = self.pop().expect("peeked event vanished");
-            handler(self, ev);
         }
         self.processed - start
     }
@@ -146,6 +184,40 @@ mod tests {
         assert_eq!(handled, 10); // ticks at t=1..=10 us
         assert_eq!(e.now().as_micros(), 10);
         assert_eq!(e.pending(), 1); // the t=11us tick stayed queued
+    }
+
+    #[test]
+    fn pop_at_or_before_gates_on_deadline() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule(SimTime::from_micros(10), 1);
+        assert_eq!(e.pop_at_or_before(SimTime::from_micros(5)), None);
+        assert_eq!(e.now(), SimTime::ZERO); // clock untouched on refusal
+        assert_eq!(
+            e.pop_at_or_before(SimTime::from_micros(10)),
+            Some((SimTime::from_micros(10), 1))
+        );
+        assert_eq!(e.now().as_micros(), 10);
+    }
+
+    #[test]
+    fn budgeted_run_completes_within_budget() {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..5 {
+            e.schedule(SimTime::from_micros(i), i as u32);
+        }
+        let n = e.run_until_budgeted(SimTime::from_secs(1), 100, |_, _| {});
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "runaway self-rescheduling loop")]
+    fn budgeted_run_fails_loudly_on_runaway() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule(SimTime::ZERO, 0);
+        // A pathological agent: re-arms itself at the same instant forever.
+        e.run_until_budgeted(SimTime::from_secs(1), 1_000, |eng, n| {
+            eng.schedule(eng.now(), n + 1);
+        });
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod time;
 pub mod units;
 
 pub use engine::Engine;
-pub use queue::{EventQueue, ScheduledEvent};
+pub use queue::{BinaryHeapQueue, EventQueue, ScheduledEvent};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use units::{Bandwidth, ByteSize};

@@ -2,12 +2,53 @@
 //!
 //! Events are ordered by `(timestamp, sequence number)` where the sequence
 //! number is assigned at insertion. Two events scheduled for the same instant
-//! therefore fire in the order they were scheduled, independent of heap
+//! therefore fire in the order they were scheduled, independent of queue
 //! internals — this is what makes whole-simulation runs bit-reproducible.
+//!
+//! # Implementation: a sliding timing wheel with an overflow heap
+//!
+//! [`EventQueue`] is a calendar-queue / timing-wheel hybrid tuned for
+//! packet-level simulation, where the overwhelming majority of events fire
+//! within a few link serialization times of "now" while a minority (RTO
+//! timers) sit hundreds of milliseconds out:
+//!
+//! * **Near future** — a wheel of `WHEEL_SLOTS` buckets, each covering
+//!   `BUCKET_NS` nanoseconds. A bucket is an unsorted `Vec`; push is O(1).
+//!   The wheel is a *sliding window* over absolute bucket indices
+//!   `[cursor, cursor + WHEEL_SLOTS)`; slot `abs % WHEEL_SLOTS` is unique
+//!   within the window.
+//! * **Current bucket** — when the cursor reaches a bucket its events are
+//!   sorted once by `(time, seq)` and loaded into a small binary heap, from
+//!   which pops (and same-bucket re-schedules) proceed in exact order.
+//! * **Far future** — events at or beyond the window horizon go to an
+//!   overflow min-heap and migrate into the wheel as the cursor advances.
+//!
+//! Ordering proof sketch: equal timestamps always land in the same absolute
+//! bucket, so ties are resolved inside one heap by `seq`; bucket `b` only
+//! drains after every bucket `< b` is empty, and overflow events are only
+//! eligible once their bucket enters the window — strictly after everything
+//! currently in the wheel ahead of them. Hence pops are globally sorted by
+//! `(time, seq)`, exactly like the previous `BinaryHeap` implementation
+//! (kept below as [`BinaryHeapQueue`] and used as the bench baseline).
+//!
+//! An occupancy bitmap (one bit per slot, plus a word-level summary) lets
+//! the cursor jump over empty buckets in O(words) rather than O(slots).
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Nanoseconds covered by one wheel bucket (2^6 = 64 ns — a small fraction
+/// of one 1500 B serialization time at 1 Gbps, so buckets stay shallow even
+/// with tens of thousands of packet events pending).
+const BUCKET_SHIFT: u32 = 6;
+/// Number of wheel slots (2^16). Window horizon = 2^22 ns ≈ 4.2 ms, which
+/// comfortably holds delayed-ACK and flow-gap timers; only long timers
+/// (RTO ≈ 200 ms) overflow past it.
+const WHEEL_SLOTS: usize = 1 << 16;
+const SLOT_MASK: u64 = (WHEEL_SLOTS as u64) - 1;
+/// Occupancy bitmap words.
+const BITMAP_WORDS: usize = WHEEL_SLOTS / 64;
 
 /// An event plus its scheduling metadata, as stored in the queue.
 #[derive(Debug, Clone)]
@@ -44,10 +85,28 @@ impl<E> Ord for ScheduledEvent<E> {
     }
 }
 
-/// A deterministic min-priority queue of timestamped events.
+#[inline]
+fn abs_bucket(at: SimTime) -> u64 {
+    at.as_nanos() >> BUCKET_SHIFT
+}
+
+/// A deterministic min-priority queue of timestamped events
+/// (timing-wheel implementation; see the module docs).
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<ScheduledEvent<E>>,
+    /// Sorted heap over the cursor's bucket: the globally earliest events.
+    current: BinaryHeap<ScheduledEvent<E>>,
+    /// Near-future buckets, unsorted; slot = absolute bucket % WHEEL_SLOTS.
+    wheel: Vec<Vec<ScheduledEvent<E>>>,
+    /// One bit per non-empty wheel slot.
+    bitmap: [u64; BITMAP_WORDS],
+    /// One bit per non-zero bitmap word (jump table for sparse wheels).
+    summary: [u64; BITMAP_WORDS.div_ceil(64)],
+    /// Events at or beyond `cursor + WHEEL_SLOTS` buckets.
+    overflow: BinaryHeap<ScheduledEvent<E>>,
+    /// Absolute bucket index the `current` heap corresponds to.
+    cursor: u64,
+    len: usize,
     next_seq: u64,
 }
 
@@ -61,6 +120,220 @@ impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
         EventQueue {
+            current: BinaryHeap::new(),
+            wheel: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            bitmap: [0; BITMAP_WORDS],
+            summary: [0; BITMAP_WORDS.div_ceil(64)],
+            overflow: BinaryHeap::new(),
+            cursor: 0,
+            len: 0,
+            next_seq: 0,
+        }
+    }
+
+    #[inline]
+    fn mark_slot(&mut self, slot: usize) {
+        self.bitmap[slot / 64] |= 1 << (slot % 64);
+        self.summary[slot / 64 / 64] |= 1 << ((slot / 64) % 64);
+    }
+
+    #[inline]
+    fn clear_slot(&mut self, slot: usize) {
+        self.bitmap[slot / 64] &= !(1 << (slot % 64));
+        if self.bitmap[slot / 64] == 0 {
+            self.summary[slot / 64 / 64] &= !(1 << ((slot / 64) % 64));
+        }
+    }
+
+    /// Place an event whose bucket lies inside the window `(cursor, cursor +
+    /// WHEEL_SLOTS)` into its wheel slot.
+    #[inline]
+    fn place_in_wheel(&mut self, ev: ScheduledEvent<E>) {
+        let slot = (abs_bucket(ev.at) & SLOT_MASK) as usize;
+        self.wheel[slot].push(ev);
+        self.mark_slot(slot);
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// Events at or before the cursor's bucket (the bucket currently being
+    /// drained) go straight into the sorted `current` heap, so zero-delay
+    /// cascades and — for direct users without an [`Engine`](crate::Engine)
+    /// clock — even past-dated pushes still pop in `(time, seq)` order
+    /// relative to everything pending.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        let ev = ScheduledEvent { at, seq, event };
+        let b = abs_bucket(at);
+        if b <= self.cursor {
+            self.current.push(ev);
+        } else if b < self.cursor + WHEEL_SLOTS as u64 {
+            self.place_in_wheel(ev);
+        } else {
+            self.overflow.push(ev);
+        }
+    }
+
+    /// Smallest absolute bucket ahead of the cursor with a pending wheel
+    /// event, if any (bitmap scan; O(words)).
+    fn next_wheel_bucket(&self) -> Option<u64> {
+        let start = (self.cursor & SLOT_MASK) as usize;
+        // Slots run circularly from `start` (exclusive — cursor's own slot
+        // was drained into `current`) for WHEEL_SLOTS-1 positions; but a
+        // fresh queue may also have events in the cursor slot itself, so
+        // include it.
+        let (start_word, start_bit) = (start / 64, start % 64);
+        // First, the remainder of the start word.
+        let w = self.bitmap[start_word] >> start_bit;
+        if w != 0 {
+            let slot = start + w.trailing_zeros() as usize;
+            return Some(self.cursor + (slot - start) as u64);
+        }
+        // Then whole words, circularly, via the summary.
+        for i in 1..=BITMAP_WORDS {
+            let word_idx = (start_word + i) % BITMAP_WORDS;
+            if self.summary[word_idx / 64] & (1 << (word_idx % 64)) == 0 {
+                continue;
+            }
+            let mut w = self.bitmap[word_idx];
+            if word_idx == start_word {
+                // Wrapped all the way: only bits before start_bit remain.
+                w &= (1 << start_bit) - 1;
+                if w == 0 {
+                    break;
+                }
+            }
+            if w != 0 {
+                let slot = word_idx * 64 + w.trailing_zeros() as usize;
+                let dist = (slot + WHEEL_SLOTS - start) % WHEEL_SLOTS;
+                // dist == 0 handled by the start-word scan above.
+                let dist = if dist == 0 { WHEEL_SLOTS } else { dist };
+                return Some(self.cursor + dist as u64);
+            }
+        }
+        None
+    }
+
+    /// Advance the cursor to the bucket holding the next pending event and
+    /// load that bucket into `current`. Returns false if nothing is pending.
+    fn refill_current(&mut self) -> bool {
+        debug_assert!(self.current.is_empty());
+        let wheel_next = self.next_wheel_bucket();
+        let overflow_next = self.overflow.peek().map(|e| abs_bucket(e.at));
+        let target = match (wheel_next, overflow_next) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        };
+        let Some(target) = target else { return false };
+        self.cursor = target;
+        // Migrate overflow events that now fit in the window. The overflow
+        // heap yields them in (time, seq) order; anything landing in the
+        // cursor bucket will be sorted with the wheel slot below.
+        let horizon = self.cursor + WHEEL_SLOTS as u64;
+        while self
+            .overflow
+            .peek()
+            .is_some_and(|e| abs_bucket(e.at) < horizon)
+        {
+            let ev = self.overflow.pop().expect("peeked");
+            self.place_in_wheel(ev);
+        }
+        // Load the cursor bucket: sort once, then heapify (O(n) From<Vec>).
+        let slot = (self.cursor & SLOT_MASK) as usize;
+        let mut bucket = std::mem::take(&mut self.wheel[slot]);
+        self.clear_slot(slot);
+        debug_assert!(!bucket.is_empty(), "advanced to an empty bucket");
+        bucket.sort_unstable_by(|a, b| a.at.cmp(&b.at).then_with(|| a.seq.cmp(&b.seq)));
+        // Already sorted ascending; BinaryHeap::from is O(n) regardless.
+        self.current = BinaryHeap::from(bucket);
+        true
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        if self.current.is_empty() && !self.refill_current() {
+            return None;
+        }
+        let ev = self.current.pop();
+        debug_assert!(ev.is_some());
+        self.len -= 1;
+        ev
+    }
+
+    /// Remove and return the earliest event **iff** it fires at or before
+    /// `deadline` — the run loop's single per-event queue access.
+    pub fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<ScheduledEvent<E>> {
+        if self.current.is_empty() {
+            // Bound-check before committing the cursor: advancing the wheel
+            // toward an event beyond the deadline would be premature — the
+            // caller may schedule earlier events before its next pop.
+            if self.peek_time().is_none_or(|t| t > deadline) {
+                return None;
+            }
+            let refilled = self.refill_current();
+            debug_assert!(refilled, "peek saw an event but refill found none");
+        }
+        if self.current.peek().is_some_and(|e| e.at <= deadline) {
+            self.len -= 1;
+            self.current.pop()
+        } else {
+            None
+        }
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if let Some(e) = self.current.peek() {
+            return Some(e.at);
+        }
+        if let Some(b) = self.next_wheel_bucket() {
+            let slot = (b & SLOT_MASK) as usize;
+            // The earliest bucket's minimum is the global minimum: overflow
+            // events live at least a full window later.
+            return self.wheel[slot].iter().map(|e| e.at).min();
+        }
+        self.overflow.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of events ever scheduled (the insertion counter).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+/// The previous single-`BinaryHeap` scheduler, kept verbatim as the
+/// measurement baseline for the timing wheel (see `crates/bench`) and as a
+/// differential-testing oracle: both implementations must produce the same
+/// pop sequence for any push sequence.
+#[derive(Debug)]
+pub struct BinaryHeapQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for BinaryHeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> BinaryHeapQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        BinaryHeapQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
         }
@@ -92,18 +365,13 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
-
-    /// Total number of events ever scheduled (the insertion counter).
-    pub fn scheduled_total(&self) -> u64 {
-        self.next_seq
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SimRng;
     use crate::time::SimDuration;
-    use proptest::prelude::*;
 
     fn t(us: u64) -> SimTime {
         SimTime::ZERO + SimDuration::from_micros(us)
@@ -144,39 +412,169 @@ mod tests {
         assert_eq!(q.scheduled_total(), 2);
     }
 
-    proptest! {
-        /// For any multiset of timestamps, pops are globally sorted by
-        /// (time, insertion order).
-        #[test]
-        fn prop_pop_order_is_sorted(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+    #[test]
+    fn pop_at_or_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        assert_eq!(q.pop_at_or_before(t(5)), None);
+        assert_eq!(q.pop_at_or_before(t(10)).unwrap().event, "a");
+        assert_eq!(q.pop_at_or_before(t(15)), None);
+        assert_eq!(q.pop_at_or_before(t(25)).unwrap().event, "b");
+        assert_eq!(q.pop_at_or_before(SimTime::MAX), None);
+    }
+
+    #[test]
+    fn far_timers_cross_the_overflow_horizon() {
+        // An RTO-style timer far beyond the wheel window, plus near events.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(200), "rto");
+        q.push(t(1), "now");
+        q.push(SimTime::from_millis(199), "near-rto");
+        assert_eq!(q.pop().unwrap().event, "now");
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(199)));
+        assert_eq!(q.pop().unwrap().event, "near-rto");
+        assert_eq!(q.pop().unwrap().event, "rto");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_ties_keep_insertion_order_after_migration() {
+        // Event A goes to overflow; after the cursor advances, B is pushed
+        // at the *same* timestamp into the wheel. A must still pop first.
+        let far = SimTime::from_millis(500);
+        let mut q = EventQueue::new();
+        q.push(far, "a"); // seq 0, overflow
+        q.push(t(1), "tick"); // seq 1
+        assert_eq!(q.pop().unwrap().event, "tick");
+        // Drag the cursor close enough that `far` is inside the window.
+        q.push(SimTime::from_millis(490), "drag");
+        assert_eq!(q.pop().unwrap().event, "drag");
+        q.push(far, "b"); // seq 3, lands in the wheel
+        assert_eq!(q.pop().unwrap().event, "a");
+        assert_eq!(q.pop().unwrap().event, "b");
+    }
+
+    #[test]
+    fn interleaved_push_pop_in_same_bucket() {
+        // Re-scheduling into the bucket currently being drained preserves
+        // (time, seq) order — the common zero-delay cascade case.
+        let mut q = EventQueue::new();
+        q.push(t(1), 0u32);
+        let e = q.pop().unwrap();
+        assert_eq!(e.event, 0);
+        q.push(e.at, 1); // same instant, later seq
+        q.push(e.at + SimDuration::from_nanos(100), 2); // same bucket
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert_eq!(q.pop().unwrap().event, 2);
+    }
+
+    /// Differential test: the wheel and the heap baseline produce identical
+    /// pop sequences over randomized workloads with a dumbbell-like time
+    /// profile (near events + far timers + ties). 200+ seeded cases.
+    #[test]
+    fn wheel_matches_heap_oracle() {
+        for seed in 0..250u64 {
+            let mut rng = SimRng::new(0xC0FFEE ^ seed);
+            let mut wheel = EventQueue::new();
+            let mut heap = BinaryHeapQueue::new();
+            let mut now_ns = 0u64;
+            let mut next_id = 0u64;
+            for _ in 0..rng.index(400) + 10 {
+                match rng.index(10) {
+                    // 60%: push a near event (serialization-scale delay).
+                    0..=5 => {
+                        let at = SimTime::from_nanos(now_ns + rng.uniform_u64(0, 40_000));
+                        wheel.push(at, next_id);
+                        heap.push(at, next_id);
+                        next_id += 1;
+                    }
+                    // 20%: push a far timer (RTO-scale delay).
+                    6..=7 => {
+                        let at = SimTime::from_nanos(
+                            now_ns + rng.uniform_u64(10_000_000, 300_000_000),
+                        );
+                        wheel.push(at, next_id);
+                        heap.push(at, next_id);
+                        next_id += 1;
+                    }
+                    // 20%: pop and compare.
+                    _ => {
+                        let a = wheel.pop();
+                        let b = heap.pop();
+                        match (a, b) {
+                            (None, None) => {}
+                            (Some(x), Some(y)) => {
+                                assert_eq!(
+                                    (x.at, x.seq, x.event),
+                                    (y.at, y.seq, y.event),
+                                    "diverged (seed {seed})"
+                                );
+                                now_ns = x.at.as_nanos();
+                            }
+                            (a, b) => panic!("one queue empty: {a:?} vs {b:?} (seed {seed})"),
+                        }
+                    }
+                }
+                assert_eq!(wheel.len(), heap.len(), "len diverged (seed {seed})");
+                assert_eq!(
+                    wheel.peek_time(),
+                    heap.peek_time(),
+                    "peek diverged (seed {seed})"
+                );
+            }
+            // Drain both fully.
+            loop {
+                match (wheel.pop(), heap.pop()) {
+                    (None, None) => break,
+                    (Some(x), Some(y)) => {
+                        assert_eq!((x.at, x.seq), (y.at, y.seq), "drain diverged (seed {seed})")
+                    }
+                    (a, b) => panic!("drain length mismatch: {a:?} vs {b:?} (seed {seed})"),
+                }
+            }
+        }
+    }
+
+    /// For any multiset of timestamps, pops are globally sorted by
+    /// (time, insertion order). Seeded-loop rewrite of the old proptest.
+    #[test]
+    fn pop_order_is_sorted_seeded() {
+        for seed in 0..250u64 {
+            let mut rng = SimRng::new(seed);
+            let n = rng.index(200);
             let mut q = EventQueue::new();
-            for (i, &us) in times.iter().enumerate() {
-                q.push(t(us), i);
+            for i in 0..n {
+                q.push(t(rng.uniform_u64(0, 999)), i);
             }
             let mut last: Option<(SimTime, u64)> = None;
             while let Some(ev) = q.pop() {
                 if let Some((lt, ls)) = last {
-                    prop_assert!((lt, ls) < (ev.at, ev.seq));
-                    prop_assert!(lt <= ev.at);
+                    assert!((lt, ls) < (ev.at, ev.seq), "unsorted pop (seed {seed})");
+                    assert!(lt <= ev.at, "time went backwards (seed {seed})");
                 }
-                // Ties must preserve insertion order.
                 last = Some((ev.at, ev.seq));
             }
         }
+    }
 
-        /// Every pushed event is popped exactly once.
-        #[test]
-        fn prop_conservation(times in proptest::collection::vec(0u64..50, 0..100)) {
+    /// Every pushed event is popped exactly once. Seeded-loop rewrite of
+    /// the old proptest.
+    #[test]
+    fn conservation_seeded() {
+        for seed in 0..250u64 {
+            let mut rng = SimRng::new(0xBEEF ^ seed);
+            let n = rng.index(100);
             let mut q = EventQueue::new();
-            for (i, &us) in times.iter().enumerate() {
-                q.push(t(us), i);
+            for i in 0..n {
+                q.push(t(rng.uniform_u64(0, 49)), i);
             }
-            let mut seen = vec![false; times.len()];
+            let mut seen = vec![false; n];
             while let Some(ev) = q.pop() {
-                prop_assert!(!seen[ev.event]);
+                assert!(!seen[ev.event], "double pop (seed {seed})");
                 seen[ev.event] = true;
             }
-            prop_assert!(seen.iter().all(|&s| s));
+            assert!(seen.iter().all(|&s| s), "lost event (seed {seed})");
         }
     }
 }

@@ -349,6 +349,60 @@ pub fn run_suite(cfg: &SuiteConfig) -> SuiteResult {
     }
 }
 
+/// Run a batch of suite cells across OS threads.
+///
+/// Each `(scheme, pattern, seed)` cell is a fully self-contained
+/// simulation — it owns its engine, RNG, topology and flow driver — so the
+/// batch is embarrassingly parallel. Workers pull cell indices from a
+/// shared atomic counter and stream results back over a channel; the batch
+/// returns in **input order** and is byte-identical to calling
+/// [`run_suite`] on each config serially (asserted by the determinism
+/// regression tests), because no simulation state crosses a thread
+/// boundary and thread scheduling only affects *when* a cell runs, never
+/// what it computes.
+///
+/// Worker count is `min(available_parallelism, cells)`; a single-core host
+/// degenerates to the serial loop with no thread overhead.
+pub fn run_suite_parallel(cfgs: &[SuiteConfig]) -> Vec<SuiteResult> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(cfgs.len());
+    if workers <= 1 {
+        return cfgs.iter().map(run_suite).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cfgs.len() {
+                    break;
+                }
+                let r = run_suite(&cfgs[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<SuiteResult>> = (0..cfgs.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every cell produces a result"))
+            .collect()
+    })
+}
+
 /// Render Table 1 from a set of suite results.
 pub fn render_table1(results: &[SuiteResult]) -> TextTable {
     let mut patterns: Vec<Pattern> = Vec::new();
@@ -604,6 +658,23 @@ mod tests {
         let jt = r.job_times_ms.expect("job times recorded");
         assert!(jt.len() >= 8, "{} jobs", jt.len());
         assert!(jt.min() > 0.0);
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_in_input_order() {
+        let tiny = |scheme, seed| SuiteConfig {
+            target_flows: 6,
+            max_sim: SimDuration::from_secs(2),
+            seed,
+            ..SuiteConfig::quick(scheme, Pattern::Permutation)
+        };
+        let cfgs = [tiny(Scheme::xmp(2), 1), tiny(Scheme::Dctcp, 2)];
+        let serial: Vec<String> = cfgs.iter().map(|c| format!("{:?}", run_suite(c))).collect();
+        let parallel: Vec<String> = run_suite_parallel(&cfgs)
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 pub mod addr;
 pub mod agent;
+pub mod hash;
 pub mod link;
 pub mod network;
 pub mod node;

@@ -16,13 +16,14 @@
 //! through the `run_until` callback.
 
 use crate::agent::{Agent, Ctx, Emit};
+use crate::hash::FxHashMap;
 use crate::link::{Link, LinkId, LinkParams};
 use crate::node::{Node, NodeId, NodeKind, PortId};
 use crate::packet::Packet;
 use crate::queue::EnqueueOutcome;
 use crate::routing::Router;
 use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use xmp_des::{Engine, SimRng, SimTime};
 
 /// Payload requirements for simulated packets.
@@ -65,9 +66,19 @@ pub struct Sim<P: Payload> {
     nodes: Vec<Node>,
     links: Vec<Link<P>>,
     agents: Vec<Option<Box<dyn Agent<P>>>>,
-    addr_book: HashMap<crate::addr::Addr, NodeId>,
-    timer_gens: HashMap<(u32, u64), u64>,
+    /// Address book as a sorted `(addr-as-u32, node)` table: binary-search
+    /// lookups, no hashing, deterministic iteration. Bindings happen only
+    /// during topology construction.
+    addr_book: Vec<(u32, NodeId)>,
+    /// Per-node timer generations, indexed densely by `NodeId`. Tokens are
+    /// sparse agent-chosen u64s (connection × subflow × kind packed bits),
+    /// so each node keeps a small fast-hash map rather than a dense slab.
+    timer_gens: Vec<FxHashMap<u64, u64>>,
     signals: VecDeque<(NodeId, u64)>,
+    /// Recycled agent emission buffers: every packet delivery and timer
+    /// expiry needs a scratch `Vec<Emit>`, and allocating one per event was
+    /// the hot loop's last per-packet heap allocation.
+    emit_pool: Vec<Vec<Emit<P>>>,
     rng: SimRng,
     trace: Option<TraceBuffer>,
 }
@@ -81,12 +92,17 @@ impl<P: Payload> Sim<P> {
             nodes: Vec::new(),
             links: Vec::new(),
             agents: Vec::new(),
-            addr_book: HashMap::new(),
-            timer_gens: HashMap::new(),
+            addr_book: Vec::new(),
+            timer_gens: Vec::new(),
             signals: VecDeque::new(),
+            emit_pool: Vec::new(),
             rng: SimRng::new(seed),
             trace: None,
         }
+    }
+
+    fn take_emit_buf(&mut self) -> Vec<Emit<P>> {
+        self.emit_pool.pop().unwrap_or_default()
     }
 
     /// Turn on packet tracing with a ring buffer of `capacity` events
@@ -121,6 +137,7 @@ impl<P: Payload> Sim<P> {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node::new(NodeKind::Host, label.into()));
         self.agents.push(Some(agent));
+        self.timer_gens.push(FxHashMap::default());
         id
     }
 
@@ -130,6 +147,7 @@ impl<P: Payload> Sim<P> {
         self.nodes
             .push(Node::new(NodeKind::Switch(router), label.into()));
         self.agents.push(None);
+        self.timer_gens.push(FxHashMap::default());
         id
     }
 
@@ -165,14 +183,20 @@ impl<P: Payload> Sim<P> {
     /// Bind an address to a node (a node may hold many addresses; the
     /// fat-tree path aliases rely on this).
     pub fn bind_addr(&mut self, addr: crate::addr::Addr, node: NodeId) {
-        if let Some(prev) = self.addr_book.insert(addr, node) {
-            panic!("address {addr} already bound to {prev:?}");
+        let key = u32::from_be_bytes(addr.0);
+        match self.addr_book.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => panic!("address {addr} already bound to {:?}", self.addr_book[i].1),
+            Err(i) => self.addr_book.insert(i, (key, node)),
         }
     }
 
     /// Node owning `addr`, if bound.
     pub fn lookup_addr(&self, addr: crate::addr::Addr) -> Option<NodeId> {
-        self.addr_book.get(&addr).copied()
+        let key = u32::from_be_bytes(addr.0);
+        self.addr_book
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .ok()
+            .map(|i| self.addr_book[i].1)
     }
 
     /// Immutable node access.
@@ -220,7 +244,7 @@ impl<P: Payload> Sim<P> {
         let mut agent = self.agents[node.0 as usize]
             .take()
             .unwrap_or_else(|| panic!("{node:?} has no agent (switch or reentrant access)"));
-        let mut emits = Vec::new();
+        let mut emits = self.take_emit_buf();
         let now = self.engine.now();
         let r = {
             let mut ctx = Ctx::new(now, &mut emits);
@@ -238,21 +262,19 @@ impl<P: Payload> Sim<P> {
     /// Process all events up to and including `deadline`. After each event,
     /// pending agent signals are handed to `on_signal` (which may itself use
     /// [`Sim::with_agent`] and generate more work).
+    ///
+    /// One queue access per event: `pop_at_or_before` replaces the old
+    /// `peek_time` + `pop` pair, which paid the scheduler's find-minimum
+    /// cost twice on every packet.
     pub fn run_until(
         &mut self,
         deadline: SimTime,
         mut on_signal: impl FnMut(&mut Self, NodeId, u64),
     ) {
-        loop {
-            match self.engine.peek_time() {
-                Some(t) if t <= deadline => {
-                    let (_, ev) = self.engine.pop().expect("peeked event vanished");
-                    self.handle(ev);
-                    while let Some((node, code)) = self.signals.pop_front() {
-                        on_signal(self, node, code);
-                    }
-                }
-                _ => break,
+        while let Some((_, ev)) = self.engine.pop_at_or_before(deadline) {
+            self.handle(ev);
+            while let Some((node, code)) = self.signals.pop_front() {
+                on_signal(self, node, code);
             }
         }
     }
@@ -339,9 +361,8 @@ impl<P: Payload> Sim<P> {
     }
 
     fn on_timer(&mut self, node: NodeId, token: u64, gen: u64) {
-        let current = self
-            .timer_gens
-            .get(&(node.0, token))
+        let current = self.timer_gens[node.0 as usize]
+            .get(&token)
             .copied()
             .unwrap_or(0);
         if gen != current {
@@ -350,7 +371,7 @@ impl<P: Payload> Sim<P> {
         let mut agent = self.agents[node.0 as usize]
             .take()
             .expect("timer for node without agent");
-        let mut emits = Vec::new();
+        let mut emits = self.take_emit_buf();
         {
             let mut ctx = Ctx::new(self.engine.now(), &mut emits);
             agent.on_timer(token, &mut ctx);
@@ -363,7 +384,7 @@ impl<P: Payload> Sim<P> {
         let mut agent = self.agents[node.0 as usize]
             .take()
             .expect("packet delivered to host without agent");
-        let mut emits = Vec::new();
+        let mut emits = self.take_emit_buf();
         {
             let mut ctx = Ctx::new(self.engine.now(), &mut emits);
             agent.on_packet(pkt, port, &mut ctx);
@@ -372,9 +393,9 @@ impl<P: Payload> Sim<P> {
         self.process_emits(node, emits);
     }
 
-    fn process_emits(&mut self, node: NodeId, emits: Vec<Emit<P>>) {
+    fn process_emits(&mut self, node: NodeId, mut emits: Vec<Emit<P>>) {
         let now = self.engine.now();
-        for emit in emits {
+        for emit in emits.drain(..) {
             match emit {
                 Emit::Send { port, pkt } => {
                     let &(link, dir) = self.nodes[node.0 as usize]
@@ -384,18 +405,19 @@ impl<P: Payload> Sim<P> {
                     self.enqueue_on(link, dir, pkt);
                 }
                 Emit::SetTimer { token, at } => {
-                    let gen = self.timer_gens.entry((node.0, token)).or_insert(0);
+                    let gen = self.timer_gens[node.0 as usize].entry(token).or_insert(0);
                     *gen += 1;
                     let gen = *gen;
                     self.engine
                         .schedule(at.max(now), NetEvent::Timer { node, token, gen });
                 }
                 Emit::CancelTimer { token } => {
-                    *self.timer_gens.entry((node.0, token)).or_insert(0) += 1;
+                    *self.timer_gens[node.0 as usize].entry(token).or_insert(0) += 1;
                 }
                 Emit::Signal(code) => self.signals.push_back((node, code)),
             }
         }
+        self.emit_pool.push(emits);
     }
 
     fn enqueue_on(&mut self, link: LinkId, dir: u8, pkt: Packet<P>) {

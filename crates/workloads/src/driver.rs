@@ -3,7 +3,7 @@
 //! figures need.
 
 use crate::scheme::Scheme;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use xmp_des::{SimDuration, SimTime};
 use xmp_netsim::{NodeId, Sim};
 use xmp_topo::FlowCategory;
@@ -78,7 +78,10 @@ pub struct Driver {
     // Pending flows sorted by *descending* start time; due flows pop off
     // the back. Ties keep submission order.
     pending: Vec<PendingFlow>,
-    records: HashMap<ConnKey, FlowRecord>,
+    // BTreeMap, not HashMap: metrics fold over `records()` (float sums,
+    // CDF inputs), so iteration order must be deterministic — submission
+    // order via the monotonically assigned ConnKey.
+    records: BTreeMap<ConnKey, FlowRecord>,
     completed: u64,
 }
 
@@ -198,7 +201,7 @@ impl Driver {
     }
 
     fn harvest(
-        records: &mut HashMap<ConnKey, FlowRecord>,
+        records: &mut BTreeMap<ConnKey, FlowRecord>,
         completed: &mut u64,
         sim: &mut Sim<Segment>,
         node: NodeId,

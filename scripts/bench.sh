@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Perf snapshot: builds the bench runner in release mode and writes
+# BENCH_pr1.json into the repo root (scheduler microbench wheel-vs-heap,
+# scaled-down fig1 and table1 wall clocks, serial-vs-parallel suite).
+#
+# The per-figure benches remain runnable individually via
+#   cargo bench --bench fig1   (etc.)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p xmp-bench
+./target/release/bench_pr1
+echo "bench.sh: wrote $(pwd)/BENCH_pr1.json"

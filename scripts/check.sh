@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the release build plus the full test suite, fully offline.
+# This is the command CI and the roadmap treat as the health check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release --offline
+cargo test -q --workspace --offline
+echo "check.sh: all green"

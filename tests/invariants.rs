@@ -1,25 +1,23 @@
-//! Property-based cross-crate invariants.
+//! Seeded cross-crate invariants: each test drives a whole simulation per
+//! case from a `SimRng`-derived parameter draw, 24 cases each (one case is
+//! an entire sim, so the counts mirror the old property-test budget). On
+//! failure the seed is printed — rerun with that seed to reproduce.
 
-use proptest::prelude::*;
 use xmp_suite::prelude::*;
 
 fn stack() -> Box<HostStack> {
     Box::new(HostStack::new(StackConfig::default()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// Any transfer size over a lossy link completes exactly, for every
-    /// scheme (the reassembly + retransmission machinery is watertight).
-    #[test]
-    fn prop_lossy_transfers_are_exact(
-        size in 1u64..2_000_000,
-        drop_pct in 0u32..8,
-        scheme_idx in 0usize..4,
-        seed in 0u64..1000,
-    ) {
-        let scheme = [Scheme::Tcp, Scheme::Dctcp, Scheme::xmp(1), Scheme::lia(1)][scheme_idx];
+/// Any transfer size over a lossy link completes exactly, for every
+/// scheme (the reassembly + retransmission machinery is watertight).
+#[test]
+fn lossy_transfers_are_exact_seeded() {
+    for seed in 0..24u64 {
+        let mut rng = SimRng::new(seed);
+        let size = 1 + rng.uniform_u64(0, 1_999_998);
+        let drop_pct = rng.index(8) as u32;
+        let scheme = [Scheme::Tcp, Scheme::Dctcp, Scheme::xmp(1), Scheme::lia(1)][rng.index(4)];
         let mut sim: Sim<Segment> = Sim::new(seed);
         let db = Dumbbell::build(
             &mut sim,
@@ -46,58 +44,71 @@ proptest! {
         });
         d.run(&mut sim, SimTime::from_secs(120), |_, _, _| {});
         let rec = d.record(c).unwrap();
-        prop_assert!(rec.completed.is_some(),
-            "size={size} drop={drop_pct}% scheme={} never completed", scheme.label());
+        assert!(
+            rec.completed.is_some(),
+            "seed {seed}: size={size} drop={drop_pct}% scheme={} never completed",
+            scheme.label()
+        );
         let delivered = sim.with_agent::<HostStack, _>(db.sinks[0], |st, _| {
             st.receiver(c).map(|r| r.delivered()).unwrap_or(0)
         });
-        prop_assert_eq!(delivered, size);
+        assert_eq!(delivered, size, "seed {seed}: bytes delivered");
     }
+}
 
-    /// Multipath transfers across the fat tree deliver exactly, for any
-    /// (src, dst, subflow-count) combination.
-    #[test]
-    fn prop_fat_tree_multipath_exact(
-        src in 0usize..16,
-        dst in 0usize..16,
-        n_subflows in 1usize..4,
-        seed in 0u64..100,
-    ) {
-        prop_assume!(src != dst);
+/// Multipath transfers across the fat tree deliver exactly, for any
+/// (src, dst, subflow-count) combination.
+#[test]
+fn fat_tree_multipath_exact_seeded() {
+    for seed in 0..24u64 {
+        let mut rng = SimRng::new(seed);
+        let src = rng.index(16);
+        let dst = rng.index(16);
+        if src == dst {
+            continue;
+        }
+        let n_subflows = 1 + rng.index(3);
         let mut sim: Sim<Segment> = Sim::new(seed);
         let cfg = FatTreeConfig {
             k: 4,
             ..FatTreeConfig::paper(QdiscConfig::EcnThreshold { cap: 100, k: 10 })
         };
         let ft = FatTree::build(&mut sim, &cfg, |_| stack());
-        let mut rng = SimRng::new(seed);
-        let subflows = xmp_suite::workloads::patterns::fat_tree_subflows(
-            &ft, src, dst, n_subflows, &mut rng,
-        );
+        let subflows =
+            xmp_suite::workloads::patterns::fat_tree_subflows(&ft, src, dst, n_subflows, &mut rng);
         let size = 500_000u64 + seed * 1000;
         let mut d = Driver::new();
         let c = d.submit(FlowSpecBuilder {
             src_node: ft.host(src),
             subflows,
             size,
-            scheme: Scheme::Xmp { beta: 4, subflows: n_subflows },
+            scheme: Scheme::Xmp {
+                beta: 4,
+                subflows: n_subflows,
+            },
             start: SimTime::ZERO,
             category: Some(ft.category(src, dst)),
             tag: 0,
         });
         d.run(&mut sim, SimTime::from_secs(30), |_, _, _| {});
-        prop_assert!(d.record(c).unwrap().completed.is_some());
+        assert!(
+            d.record(c).unwrap().completed.is_some(),
+            "seed {seed}: {src}->{dst} x{n_subflows} never completed"
+        );
         let delivered = sim.with_agent::<HostStack, _>(ft.host(dst), |st, _| {
             st.receiver(c).map(|r| r.delivered()).unwrap_or(0)
         });
-        prop_assert_eq!(delivered, size);
+        assert_eq!(delivered, size, "seed {seed}: bytes delivered");
     }
+}
 
-    /// Network-wide packet conservation: for every link direction,
-    /// enqueued = delivered + still queued/in flight, and offered =
-    /// enqueued + dropped + fault-dropped.
-    #[test]
-    fn prop_link_packet_conservation(seed in 0u64..50, drop_pct in 0u32..20) {
+/// Network-wide packet conservation: for every link direction,
+/// enqueued = delivered + still queued/in flight.
+#[test]
+fn link_packet_conservation_seeded() {
+    for seed in 0..24u64 {
+        let mut rng = SimRng::new(seed);
+        let drop_pct = rng.index(20) as u32;
         let mut sim: Sim<Segment> = Sim::new(seed);
         let db = Dumbbell::build(
             &mut sim,
@@ -129,19 +140,25 @@ proptest! {
             for dir in &link.dirs {
                 let s = &dir.stats;
                 let resident = dir.queue.len() as u64 + u64::from(dir.in_flight.is_some());
-                prop_assert_eq!(
-                    s.enqueued, s.delivered + resident,
-                    "enqueued {} != delivered {} + resident {}",
-                    s.enqueued, s.delivered, resident
+                assert_eq!(
+                    s.enqueued,
+                    s.delivered + resident,
+                    "seed {seed}: enqueued {} != delivered {} + resident {}",
+                    s.enqueued,
+                    s.delivered,
+                    resident
                 );
             }
         }
     }
+}
 
-    /// Determinism holds across every scheme: running twice with the same
-    /// seed yields identical completion times.
-    #[test]
-    fn prop_determinism_all_schemes(scheme_idx in 0usize..6, seed in 0u64..30) {
+/// Determinism holds across every scheme: running twice with the same
+/// seed yields identical completion times.
+#[test]
+fn determinism_all_schemes_seeded() {
+    for seed in 0..24u64 {
+        let mut rng = SimRng::new(seed);
         let scheme = [
             Scheme::Tcp,
             Scheme::Dctcp,
@@ -149,7 +166,7 @@ proptest! {
             Scheme::xmp(2),
             Scheme::lia(2),
             Scheme::Olia { subflows: 2 },
-        ][scheme_idx];
+        ][rng.index(6)];
         let run = || {
             let mut sim: Sim<Segment> = Sim::new(seed);
             let db = Dumbbell::build(
@@ -182,7 +199,7 @@ proptest! {
             d.record(c).unwrap().completed.map(|t| t.as_nanos())
         };
         let a = run();
-        prop_assert!(a.is_some());
-        prop_assert_eq!(a, run());
+        assert!(a.is_some(), "seed {seed}: {} never completed", scheme.label());
+        assert_eq!(a, run(), "seed {seed}: {} nondeterministic", scheme.label());
     }
 }
