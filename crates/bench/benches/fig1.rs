@@ -9,6 +9,7 @@ fn tiny() -> fig1::Fig1Config {
         interval: SimDuration::from_millis(100),
         bin: SimDuration::from_millis(20),
         seed: 1,
+        ..fig1::Fig1Config::default()
     }
 }
 

@@ -149,6 +149,7 @@ fn fig1_section() -> Json {
         interval: SimDuration::from_millis(100),
         bin: SimDuration::from_millis(20),
         seed: 1,
+        ..fig1::Fig1Config::default()
     };
     let s = measure(BenchConfig::heavy(), || {
         std::hint::black_box(fig1::run(&cfg));
@@ -214,10 +215,19 @@ fn parallel_section() -> Json {
 
 fn main() {
     let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // The serial-vs-parallel comparison is meaningless on a single core
+    // (run_suite_parallel degenerates to the serial loop): skip it rather
+    // than report a vacuous 1.0x.
+    let suite_parallel = if parallelism > 1 {
+        parallel_section()
+    } else {
+        println!("suite 4 cells: skipped (single-core host)");
+        Json::obj().set("skipped", "single-core host")
+    };
     let report = Json::obj()
         .set(
             "host",
-            Json::obj().set("parallelism", parallelism).set(
+            xmp_bench::host_meta().set(
                 "note",
                 "suite speedup only binds on multi-core hosts (ISSUE: >=4 cores)",
             ),
@@ -225,7 +235,7 @@ fn main() {
         .set("scheduler_microbench", scheduler_section())
         .set("fig1_small", fig1_section())
         .set("table1_cell_quick", table1_section())
-        .set("suite_parallel", parallel_section());
+        .set("suite_parallel", suite_parallel);
     let out = report.render();
     std::fs::write("BENCH_pr1.json", &out).expect("write BENCH_pr1.json");
     println!("wrote BENCH_pr1.json");

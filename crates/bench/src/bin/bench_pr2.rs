@@ -1,0 +1,132 @@
+//! Perf snapshot for the forwarding fast path (compiled FIBs + lazy link
+//! pipeline), written to `BENCH_pr2.json` (run from the repo root, e.g. via
+//! `scripts/bench.sh`).
+//!
+//! Both workloads run under all four `SimTuning` combinations —
+//! {dynamic router, compiled FIB} × {eager TxDone pipeline, lazy
+//! one-event-per-hop pipeline} — reporting wall clock and engine
+//! events/second. The differential tests (`fib_differential`,
+//! `lazy_differential`) prove all four produce bit-identical results, so
+//! every combination does the same simulated work; only the event count
+//! per packet-hop (2 eager, 1 lazy) and per-packet routing cost differ.
+
+use xmp_bench::{measure, BenchConfig, Json};
+use xmp_des::SimDuration;
+use xmp_experiments::fig1;
+use xmp_experiments::suite::{run_suite_counting, Pattern, SuiteConfig};
+use xmp_netsim::SimTuning;
+use xmp_workloads::Scheme;
+
+const COMBOS: [(&str, SimTuning); 4] = [
+    (
+        "dynamic_eager",
+        SimTuning {
+            compiled_fib: false,
+            lazy_links: false,
+        },
+    ),
+    (
+        "compiled_eager",
+        SimTuning {
+            compiled_fib: true,
+            lazy_links: false,
+        },
+    ),
+    (
+        "dynamic_lazy",
+        SimTuning {
+            compiled_fib: false,
+            lazy_links: true,
+        },
+    ),
+    (
+        "compiled_lazy",
+        SimTuning {
+            compiled_fib: true,
+            lazy_links: true,
+        },
+    ),
+];
+
+struct Cell {
+    median_ns: u64,
+    json: Json,
+}
+
+fn bench_combo(name: &str, events: u64, median_ns: u64, json: Json) -> Cell {
+    let eps = events as f64 / (median_ns as f64 / 1e9);
+    println!(
+        "  {name:<15} median {:>8.1} ms, {:>6.2} Mev/s ({events} events)",
+        median_ns as f64 / 1e6,
+        eps / 1e6
+    );
+    Cell {
+        median_ns,
+        json: json.set("events", events).set("events_per_sec", eps),
+    }
+}
+
+fn section(title: &str, mut run: impl FnMut(SimTuning) -> u64) -> Json {
+    println!("{title}:");
+    let mut out = Json::obj();
+    let mut baseline_ns = 0u64;
+    let mut fast_ns = 0u64;
+    for (name, tuning) in COMBOS {
+        let mut events = 0;
+        let s = measure(BenchConfig::heavy(), || {
+            events = run(tuning);
+        });
+        let cell = bench_combo(name, events, s.median_ns, Json::from(s));
+        if name == "dynamic_eager" {
+            baseline_ns = cell.median_ns;
+        }
+        if name == "compiled_lazy" {
+            fast_ns = cell.median_ns;
+        }
+        out = out.set(name, cell.json);
+    }
+    let speedup = baseline_ns as f64 / fast_ns as f64;
+    println!("  speedup (compiled_lazy vs dynamic_eager): {speedup:.2}x");
+    out.set("speedup_compiled_lazy_vs_dynamic_eager", speedup)
+}
+
+fn main() {
+    let fig1_section = section("fig1 (scaled down, 4 variants)", |tuning| {
+        let cfg = fig1::Fig1Config {
+            interval: SimDuration::from_millis(100),
+            bin: SimDuration::from_millis(20),
+            seed: 1,
+            tuning,
+        };
+        let (r, events) = fig1::run_counting(&cfg);
+        std::hint::black_box(r);
+        events
+    });
+    let table1_section = section("table1 cell (quick, XMP-2/Permutation)", |tuning| {
+        let cfg = SuiteConfig {
+            target_flows: 16,
+            tuning,
+            ..SuiteConfig::quick(Scheme::xmp(2), Pattern::Permutation)
+        };
+        let (r, events) = run_suite_counting(&cfg);
+        std::hint::black_box(r);
+        events
+    });
+    let report = Json::obj()
+        .set("host", xmp_bench::host_meta())
+        .set(
+            "note",
+            "all four combos are bit-identical (see fib_differential / lazy_differential tests)",
+        )
+        .set(
+            "fig1_small",
+            fig1_section.set("config", "interval 100ms, bin 20ms, seed 1"),
+        )
+        .set(
+            "table1_cell_quick",
+            table1_section.set("config", "quick k=4, 16 flows, XMP-2 / Permutation"),
+        );
+    let out = report.render();
+    std::fs::write("BENCH_pr2.json", &out).expect("write BENCH_pr2.json");
+    println!("wrote BENCH_pr2.json");
+}

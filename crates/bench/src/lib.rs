@@ -117,6 +117,39 @@ pub fn bench_main<R>(name: &str, f: impl FnMut() -> R) -> Sample {
     s
 }
 
+/// First line of a command's stdout, or `"unknown"` if the command is
+/// missing or fails (benches must run on hermetic hosts without git or a
+/// rustc on PATH).
+fn first_line_of(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| {
+            let s = String::from_utf8_lossy(&o.stdout);
+            s.lines().next().map(|l| l.trim().to_string())
+        })
+        .filter(|l| !l.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Host metadata block every `BENCH_*.json` report embeds, so perf numbers
+/// stay interpretable across machines: available parallelism, the
+/// toolchain, and the exact source revision measured.
+pub fn host_meta() -> Json {
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    Json::obj()
+        .set("parallelism", parallelism)
+        .set("rustc", first_line_of("rustc", &["--version"]))
+        .set(
+            "git_rev",
+            first_line_of("git", &["rev-parse", "--short", "HEAD"]),
+        )
+        .set("os", std::env::consts::OS)
+        .set("arch", std::env::consts::ARCH)
+}
+
 /// A minimal JSON value — just enough structure for the bench reports.
 #[derive(Clone, Debug)]
 pub enum Json {

@@ -54,12 +54,22 @@ impl<E> Engine<E> {
     /// Panics if `at` is in the past — scheduling backwards in time is
     /// always a logic error in a discrete-event simulation.
     pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.schedule_keyed(at, 0, event);
+    }
+
+    /// [`Engine::schedule`] with an explicit same-instant tie key: events
+    /// firing at the same instant are handled in ascending `key` order
+    /// (then scheduling order), independent of *when* each was scheduled.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past.
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, event: E) {
         assert!(
             at >= self.now,
             "scheduled event in the past: at={at:?} now={:?}",
             self.now
         );
-        self.queue.push(at, event);
+        self.queue.push_keyed(at, key, event);
     }
 
     /// Pop the earliest event, advancing the clock to its timestamp.

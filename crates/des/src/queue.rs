@@ -1,9 +1,14 @@
 //! Deterministic event priority queue.
 //!
-//! Events are ordered by `(timestamp, sequence number)` where the sequence
-//! number is assigned at insertion. Two events scheduled for the same instant
-//! therefore fire in the order they were scheduled, independent of queue
-//! internals — this is what makes whole-simulation runs bit-reproducible.
+//! Events are ordered by `(timestamp, tie key, sequence number)`. The tie
+//! key is caller-supplied ([`EventQueue::push_keyed`]; plain `push` uses 0)
+//! and ranks events that fire at the same instant by *what they are* rather
+//! than by when they happened to be scheduled; the sequence number, assigned
+//! at insertion, breaks the remaining ties in scheduling order. Ordering
+//! same-instant events by identity is what lets two pipelines that schedule
+//! the same event at different moments (the eager and lazy link pipelines
+//! in `xmp-netsim`) process it at the same rank — and is what makes
+//! whole-simulation runs bit-reproducible.
 //!
 //! # Implementation: a sliding timing wheel with an overflow heap
 //!
@@ -55,7 +60,9 @@ const BITMAP_WORDS: usize = WHEEL_SLOTS / 64;
 pub struct ScheduledEvent<E> {
     /// When the event fires.
     pub at: SimTime,
-    /// Monotone insertion counter; breaks timestamp ties deterministically.
+    /// Caller-supplied same-instant rank (0 for plain `push`).
+    pub key: u64,
+    /// Monotone insertion counter; breaks the remaining ties.
     pub seq: u64,
     /// The user payload.
     pub event: E,
@@ -63,7 +70,7 @@ pub struct ScheduledEvent<E> {
 
 impl<E> PartialEq for ScheduledEvent<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key && self.seq == other.seq
     }
 }
 impl<E> Eq for ScheduledEvent<E> {}
@@ -77,10 +84,11 @@ impl<E> PartialOrd for ScheduledEvent<E> {
 impl<E> Ord for ScheduledEvent<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (and, at equal
-        // times, the first-inserted) event is popped first.
+        // times, the lowest-keyed then first-inserted) event pops first.
         other
             .at
             .cmp(&self.at)
+            .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -162,10 +170,17 @@ impl<E> EventQueue<E> {
     /// clock — even past-dated pushes still pop in `(time, seq)` order
     /// relative to everything pending.
     pub fn push(&mut self, at: SimTime, event: E) {
+        self.push_keyed(at, 0, event);
+    }
+
+    /// [`EventQueue::push`] with an explicit same-instant tie key: events at
+    /// the same timestamp pop in ascending `key` order (then insertion
+    /// order), regardless of when they were scheduled.
+    pub fn push_keyed(&mut self, at: SimTime, key: u64, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.len += 1;
-        let ev = ScheduledEvent { at, seq, event };
+        let ev = ScheduledEvent { at, key, seq, event };
         let b = abs_bucket(at);
         if b <= self.cursor {
             self.current.push(ev);
@@ -246,7 +261,11 @@ impl<E> EventQueue<E> {
         let mut bucket = std::mem::take(&mut self.wheel[slot]);
         self.clear_slot(slot);
         debug_assert!(!bucket.is_empty(), "advanced to an empty bucket");
-        bucket.sort_unstable_by(|a, b| a.at.cmp(&b.at).then_with(|| a.seq.cmp(&b.seq)));
+        bucket.sort_unstable_by(|a, b| {
+            a.at.cmp(&b.at)
+                .then_with(|| a.key.cmp(&b.key))
+                .then_with(|| a.seq.cmp(&b.seq))
+        });
         // Already sorted ascending; BinaryHeap::from is O(n) regardless.
         self.current = BinaryHeap::from(bucket);
         true
@@ -341,9 +360,14 @@ impl<E> BinaryHeapQueue<E> {
 
     /// Schedule `event` to fire at absolute time `at`.
     pub fn push(&mut self, at: SimTime, event: E) {
+        self.push_keyed(at, 0, event);
+    }
+
+    /// [`BinaryHeapQueue::push`] with an explicit same-instant tie key.
+    pub fn push_keyed(&mut self, at: SimTime, key: u64, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent { at, seq, event });
+        self.heap.push(ScheduledEvent { at, key, seq, event });
     }
 
     /// Remove and return the earliest event, if any.
@@ -398,6 +422,28 @@ mod tests {
         for i in 0..100 {
             assert_eq!(q.pop().unwrap().event, i);
         }
+    }
+
+    #[test]
+    fn keys_rank_same_instant_events_regardless_of_push_order() {
+        // Two events at the same instant pop in key order even though the
+        // higher-keyed one was scheduled first — and the wheel agrees with
+        // the heap baseline.
+        let mut q = EventQueue::new();
+        let mut h = BinaryHeapQueue::new();
+        for (at, key, ev) in [(t(5), 9u64, "late"), (t(5), 1, "early"), (t(4), 7, "first")] {
+            q.push_keyed(at, key, ev);
+            h.push_keyed(at, key, ev);
+        }
+        for want in ["first", "early", "late"] {
+            assert_eq!(q.pop().unwrap().event, want);
+            assert_eq!(h.pop().unwrap().event, want);
+        }
+        // Equal keys at the same instant fall back to insertion order.
+        q.push_keyed(t(9), 3, "a");
+        q.push_keyed(t(9), 3, "b");
+        assert_eq!(q.pop().unwrap().event, "a");
+        assert_eq!(q.pop().unwrap().event, "b");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::common::{frac, host_stack, TextTable};
 use std::fmt;
 use xmp_des::{Bandwidth, SimDuration, SimTime};
-use xmp_netsim::{PortId, QdiscConfig, Sim};
+use xmp_netsim::{PortId, QdiscConfig, Sim, SimTuning};
 use xmp_topo::Dumbbell;
 use xmp_transport::{ConnKey, Segment, SubflowSpec};
 use xmp_workloads::{jain_index, Driver, FlowSpecBuilder, RateSampler, Scheme};
@@ -28,6 +28,8 @@ pub struct Fig1Config {
     pub bin: SimDuration,
     /// RNG seed.
     pub seed: u64,
+    /// Simulator fast-path knobs (compiled FIBs, lazy links).
+    pub tuning: SimTuning,
 }
 
 impl Default for Fig1Config {
@@ -36,6 +38,7 @@ impl Default for Fig1Config {
             interval: SimDuration::from_secs(5),
             bin: SimDuration::from_millis(100),
             seed: 1,
+            tuning: SimTuning::default(),
         }
     }
 }
@@ -46,7 +49,7 @@ impl Fig1Config {
         Fig1Config {
             interval: SimDuration::from_millis(500),
             bin: SimDuration::from_millis(25),
-            seed: 1,
+            ..Fig1Config::default()
         }
     }
 }
@@ -83,8 +86,9 @@ fn active_in_epoch(e: usize) -> Vec<usize> {
         .collect()
 }
 
-fn run_variant(cfg: &Fig1Config, label: &str, scheme: Scheme, k: usize) -> Fig1Series {
+fn run_variant(cfg: &Fig1Config, label: &str, scheme: Scheme, k: usize) -> (Fig1Series, u64) {
     let mut sim: Sim<Segment> = Sim::new(cfg.seed);
+    sim.set_tuning(cfg.tuning);
     let db = Dumbbell::build(
         &mut sim,
         4,
@@ -163,29 +167,42 @@ fn run_variant(cfg: &Fig1Config, label: &str, scheme: Scheme, k: usize) -> Fig1S
         epoch_means.push(mean);
     }
 
-    Fig1Series {
+    let series = Fig1Series {
         label: label.into(),
         bins,
         epoch_means,
         epoch_jain,
         epoch_util,
-    }
+    };
+    (series, sim.events_processed())
 }
 
 /// Run all four variants.
 pub fn run(cfg: &Fig1Config) -> Fig1Result {
+    run_counting(cfg).0
+}
+
+/// [`run`], also returning the total engine events processed across the
+/// four variants (for the bench harness; the count depends on the link
+/// pipeline — the lazy pipeline does one event per packet-hop, the eager
+/// one two — so it lives outside [`Fig1Result`] and its digests).
+pub fn run_counting(cfg: &Fig1Config) -> (Fig1Result, u64) {
     let variants: [(&str, Scheme, usize); 4] = [
         ("DCTCP, K=10", Scheme::Dctcp, 10),
         ("DCTCP, K=20", Scheme::Dctcp, 20),
         ("Halving cwnd, K=10", Scheme::Bos { beta: 2 }, 10),
         ("Halving cwnd, K=20", Scheme::Bos { beta: 2 }, 20),
     ];
-    Fig1Result {
-        series: variants
-            .iter()
-            .map(|(label, scheme, k)| run_variant(cfg, label, *scheme, *k))
-            .collect(),
-    }
+    let mut events = 0;
+    let series = variants
+        .iter()
+        .map(|(label, scheme, k)| {
+            let (s, ev) = run_variant(cfg, label, *scheme, *k);
+            events += ev;
+            s
+        })
+        .collect();
+    (Fig1Result { series }, events)
 }
 
 impl fmt::Display for Fig1Result {
@@ -231,8 +248,9 @@ mod tests {
             interval: SimDuration::from_millis(1000),
             bin: SimDuration::from_millis(50),
             seed: 3,
+            ..Fig1Config::default()
         };
-        let s = run_variant(&cfg, "halving", Scheme::Bos { beta: 2 }, 20);
+        let (s, _) = run_variant(&cfg, "halving", Scheme::Bos { beta: 2 }, 20);
         // Epoch 4 (all four flows active): near-fair, near-full.
         assert!(s.epoch_jain[3] > 0.9, "jain={}", s.epoch_jain[3]);
         assert!(s.epoch_util[3] > 0.85, "util={}", s.epoch_util[3]);
@@ -253,8 +271,9 @@ mod tests {
             interval: SimDuration::from_millis(800),
             bin: SimDuration::from_millis(50),
             seed: 4,
+            ..Fig1Config::default()
         };
-        let s = run_variant(&cfg, "dctcp", Scheme::Dctcp, 20);
+        let (s, _) = run_variant(&cfg, "dctcp", Scheme::Dctcp, 20);
         assert!(s.epoch_util[3] > 0.8, "util={}", s.epoch_util[3]);
         assert_eq!(s.epoch_means.len(), 7);
     }

@@ -13,7 +13,7 @@ use crate::common::{mbps, TextTable};
 use std::collections::BTreeMap;
 use std::fmt;
 use xmp_des::{SimDuration, SimTime};
-use xmp_netsim::{QdiscConfig, Sim};
+use xmp_netsim::{QdiscConfig, Sim, SimTuning};
 use xmp_topo::{FatTree, FatTreeConfig, FlowCategory, LinkLayer, RoutingMode};
 use xmp_transport::Segment;
 use xmp_workloads::{
@@ -76,6 +76,8 @@ pub struct SuiteConfig {
     /// RTO ablation follows Vasudevan et al., discussed in the paper's
     /// related work).
     pub rto_min: SimDuration,
+    /// Simulator fast-path knobs (compiled FIBs, lazy links).
+    pub tuning: SimTuning,
 }
 
 impl SuiteConfig {
@@ -95,6 +97,7 @@ impl SuiteConfig {
             coexist_with: None,
             routing: RoutingMode::TwoLevel,
             rto_min: SimDuration::from_millis(200),
+            tuning: SimTuning::default(),
         }
     }
 
@@ -182,7 +185,15 @@ enum PatternState {
 
 /// Run one (scheme, pattern) simulation.
 pub fn run_suite(cfg: &SuiteConfig) -> SuiteResult {
+    run_suite_counting(cfg).0
+}
+
+/// [`run_suite`], also returning the engine events processed (for the
+/// bench harness; the count depends on the link pipeline, so it stays out
+/// of [`SuiteResult`] and its determinism digests).
+pub fn run_suite_counting(cfg: &SuiteConfig) -> (SuiteResult, u64) {
     let mut sim: Sim<Segment> = Sim::new(cfg.seed);
+    sim.set_tuning(cfg.tuning);
     let ft_cfg = FatTreeConfig {
         k: cfg.k,
         routing: cfg.routing,
@@ -333,7 +344,7 @@ pub fn run_suite(cfg: &SuiteConfig) -> SuiteResult {
         _ => None,
     };
 
-    SuiteResult {
+    let result = SuiteResult {
         scheme: cfg.scheme.label(),
         pattern: cfg.pattern,
         avg_goodput_bps,
@@ -346,7 +357,8 @@ pub fn run_suite(cfg: &SuiteConfig) -> SuiteResult {
         occupancy_above_k,
         completed_flows: large_done,
         sim_time: now,
-    }
+    };
+    (result, sim.events_processed())
 }
 
 /// Run a batch of suite cells across OS threads.

@@ -1,0 +1,80 @@
+//! Differential equivalence of the simulator fast paths at the experiment
+//! level: the compiled-FIB forwarding path and the lazy one-event-per-hop
+//! link pipeline must reproduce the baseline (dynamic routing, eager
+//! TxDone pipeline) **bit-identically** on the paper's workloads.
+//!
+//! The comparison digest is the full `Debug` rendering of each result
+//! structure — f64 Debug formatting round-trips exactly, so equal strings
+//! mean bit-equal rates, Jain indices, goodputs and queue statistics.
+
+use xmp_des::SimDuration;
+use xmp_experiments::fig1::{self, Fig1Config};
+use xmp_experiments::suite::{run_suite, Pattern, SuiteConfig};
+use xmp_netsim::SimTuning;
+use xmp_workloads::Scheme;
+
+const BASELINE: SimTuning = SimTuning {
+    compiled_fib: false,
+    lazy_links: false,
+};
+const FAST: SimTuning = SimTuning {
+    compiled_fib: true,
+    lazy_links: true,
+};
+const LAZY_ONLY: SimTuning = SimTuning {
+    compiled_fib: false,
+    lazy_links: true,
+};
+
+fn fig1_digest(seed: u64, tuning: SimTuning) -> String {
+    let cfg = Fig1Config {
+        interval: SimDuration::from_millis(60),
+        bin: SimDuration::from_millis(20),
+        seed,
+        tuning,
+    };
+    format!("{:?}", fig1::run(&cfg))
+}
+
+#[test]
+fn fig1_fast_paths_match_baseline_multi_seed() {
+    for seed in [3, 7, 11] {
+        let base = fig1_digest(seed, BASELINE);
+        assert_eq!(
+            base,
+            fig1_digest(seed, FAST),
+            "seed {seed}: compiled FIB + lazy links diverged on fig1"
+        );
+        assert_eq!(
+            base,
+            fig1_digest(seed, LAZY_ONLY),
+            "seed {seed}: lazy links alone diverged on fig1"
+        );
+    }
+}
+
+fn table1_digest(seed: u64, scheme: Scheme, tuning: SimTuning) -> String {
+    let cfg = SuiteConfig {
+        target_flows: 6,
+        max_sim: SimDuration::from_secs(2),
+        seed,
+        tuning,
+        ..SuiteConfig::quick(scheme, Pattern::Permutation)
+    };
+    format!("{:?}", run_suite(&cfg))
+}
+
+#[test]
+fn table1_cell_fast_paths_match_baseline() {
+    // The fat-tree cell exercises ECMP hashing on every hop, ECN marking
+    // at the paper's K, retransmission timers and multi-subflow transport —
+    // the full event soup the equivalence argument has to survive.
+    for (seed, scheme) in [(1, Scheme::xmp(2)), (2, Scheme::Dctcp)] {
+        let base = table1_digest(seed, scheme, BASELINE);
+        assert_eq!(
+            base,
+            table1_digest(seed, scheme, FAST),
+            "seed {seed}: compiled FIB + lazy links diverged on table1 cell"
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! Compiled forwarding tables (FIBs).
+//!
+//! Dynamic [`Router`](crate::routing::Router)s answer `route()` by scanning
+//! pattern tables behind a `Box<dyn>` — fine for topology construction,
+//! wasteful when the same question is asked once per packet per hop. Since
+//! every destination a packet can carry is bound in the simulation's address
+//! book *before* the run starts, the whole forwarding function of a switch
+//! can be flattened at build time:
+//!
+//! * the sorted address book becomes a dense **destination index**
+//!   ([`AddrIndex`]: address → small integer, one array load),
+//! * each switch's router compiles to a [`CompiledFib`]: one [`FibEntry`]
+//!   per destination index, either a fixed port or a hash-spread group.
+//!
+//! A per-packet lookup is then one or two array indexations plus (for ECMP
+//! entries) the same `mix64` hash the dynamic router uses — bit-identical
+//! port choices by construction, pinned by the exhaustive differential
+//! tests in `xmp-topo`. Destinations a router cannot compile (or addresses
+//! outside the book) fall back to the dynamic router, preserving its
+//! behaviour including "no route" panics.
+
+use crate::addr::Addr;
+use crate::node::PortId;
+use crate::packet::FlowId;
+use crate::routing::mix64;
+
+/// Forwarding decision for one (switch, destination) pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FibEntry {
+    /// Deterministic next hop.
+    Port(PortId),
+    /// Hash-spread over `len` ports starting at `off` in the group pool:
+    /// `group[(mix64(flow ^ salt) >> shift) % len]`. The `salt`/`shift`
+    /// parameters reproduce each dynamic router's exact hash input
+    /// ([`EcmpRouter`](crate::routing::EcmpRouter) salts with the
+    /// destination word; the fat-tree ECMP mode shifts for its second
+    /// level).
+    Hash {
+        /// Offset of the group in [`CompiledFib::groups`].
+        off: u32,
+        /// Group size (ports).
+        len: u16,
+        /// Right-shift applied to the hash before the modulo.
+        shift: u8,
+        /// XOR'd into the flow id before hashing.
+        salt: u64,
+    },
+    /// No compiled route — fall back to the dynamic router.
+    Miss,
+}
+
+/// A switch's flattened forwarding table, indexed by destination index.
+#[derive(Clone, Debug)]
+pub struct CompiledFib {
+    entries: Vec<FibEntry>,
+    groups: Vec<PortId>,
+}
+
+impl CompiledFib {
+    /// The output port for destination index `dst_idx` and `flow`, or
+    /// `None` when this destination must take the dynamic fallback.
+    #[inline]
+    pub fn lookup(&self, dst_idx: u32, flow: FlowId) -> Option<PortId> {
+        match self.entries[dst_idx as usize] {
+            FibEntry::Port(p) => Some(p),
+            FibEntry::Hash {
+                off,
+                len,
+                shift,
+                salt,
+            } => {
+                let h = mix64(flow.0 ^ salt) >> shift;
+                Some(self.groups[off as usize + (h % u64::from(len)) as usize])
+            }
+            FibEntry::Miss => None,
+        }
+    }
+
+    /// The raw entry for a destination index (used by tests).
+    pub fn entry(&self, dst_idx: u32) -> FibEntry {
+        self.entries[dst_idx as usize]
+    }
+}
+
+/// Incrementally builds a [`CompiledFib`] over `n` destinations.
+#[derive(Debug)]
+pub struct FibBuilder {
+    entries: Vec<FibEntry>,
+    groups: Vec<PortId>,
+}
+
+impl FibBuilder {
+    /// All-miss table over `n` destination indices.
+    pub fn new(n: usize) -> Self {
+        FibBuilder {
+            entries: vec![FibEntry::Miss; n],
+            groups: Vec::new(),
+        }
+    }
+
+    /// Fix destination `dst` to a single port.
+    pub fn port(&mut self, dst: usize, p: PortId) {
+        self.entries[dst] = FibEntry::Port(p);
+    }
+
+    /// Intern a port group in the pool; returns `(off, len)` for reuse
+    /// across destinations sharing the group.
+    pub fn group(&mut self, ports: &[PortId]) -> (u32, u16) {
+        assert!(!ports.is_empty(), "empty ECMP group");
+        assert!(ports.len() <= u16::MAX as usize, "ECMP group too large");
+        let off = u32::try_from(self.groups.len()).expect("group pool overflow");
+        self.groups.extend_from_slice(ports);
+        (off, ports.len() as u16)
+    }
+
+    /// Hash destination `dst` over an interned group.
+    pub fn hashed(&mut self, dst: usize, (off, len): (u32, u16), shift: u8, salt: u64) {
+        self.entries[dst] = FibEntry::Hash {
+            off,
+            len,
+            shift,
+            salt,
+        };
+    }
+
+    /// Finish the table.
+    pub fn build(self) -> CompiledFib {
+        CompiledFib {
+            entries: self.entries,
+            groups: self.groups,
+        }
+    }
+}
+
+/// Address → destination-index translation, built from the sorted address
+/// book. Dense (one array load) when the bound addresses span a reasonable
+/// range — true for every in-tree topology — with a binary-search fallback
+/// so pathological address plans stay correct.
+#[derive(Clone, Debug)]
+pub enum AddrIndex {
+    /// `table[addr - base]` is the index, or `u32::MAX` for unbound.
+    Dense {
+        /// Lowest bound address (big-endian u32).
+        base: u32,
+        /// Index table covering `base..=max`.
+        table: Vec<u32>,
+    },
+    /// Sorted bound addresses; the index is the binary-search position.
+    Sparse {
+        /// Sorted big-endian address keys.
+        keys: Vec<u32>,
+    },
+}
+
+/// Spans beyond this fall back to [`AddrIndex::Sparse`] (a k = 16 fat tree
+/// spans ≈ 1 M addresses; 4 MB of table is fine, unbounded growth is not).
+const DENSE_SPAN_LIMIT: usize = 1 << 22;
+
+impl AddrIndex {
+    /// Build from sorted big-endian address keys (the address book's
+    /// order); the returned index maps each key to its position.
+    pub fn build(keys: &[u32]) -> Self {
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted");
+        match (keys.first(), keys.last()) {
+            (Some(&lo), Some(&hi)) if ((hi - lo) as usize) < DENSE_SPAN_LIMIT => {
+                let mut table = vec![u32::MAX; (hi - lo) as usize + 1];
+                for (i, &k) in keys.iter().enumerate() {
+                    table[(k - lo) as usize] = i as u32;
+                }
+                AddrIndex::Dense { base: lo, table }
+            }
+            _ => AddrIndex::Sparse {
+                keys: keys.to_vec(),
+            },
+        }
+    }
+
+    /// Destination index of `addr`, or `None` if unbound.
+    #[inline]
+    pub fn lookup(&self, addr: Addr) -> Option<u32> {
+        let key = u32::from_be_bytes(addr.0);
+        match self {
+            AddrIndex::Dense { base, table } => {
+                let i = key.checked_sub(*base)? as usize;
+                match table.get(i) {
+                    Some(&idx) if idx != u32::MAX => Some(idx),
+                    _ => None,
+                }
+            }
+            AddrIndex::Sparse { keys } => keys.binary_search(&key).ok().map(|i| i as u32),
+        }
+    }
+
+    /// Number of indexed destinations.
+    pub fn len(&self) -> usize {
+        match self {
+            AddrIndex::Dense { table, .. } => {
+                table.iter().filter(|&&i| i != u32::MAX).count()
+            }
+            AddrIndex::Sparse { keys } => keys.len(),
+        }
+    }
+
+    /// Whether no addresses are indexed.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            AddrIndex::Dense { table, .. } => table.iter().all(|&i| i == u32::MAX),
+            AddrIndex::Sparse { keys } => keys.is_empty(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_index_dense_round_trips() {
+        let keys: Vec<u32> = [(10, 0, 0, 2), (10, 0, 0, 5), (10, 1, 0, 2)]
+            .iter()
+            .map(|&(a, b, c, d)| u32::from_be_bytes([a, b, c, d]))
+            .collect();
+        let idx = AddrIndex::build(&keys);
+        assert!(matches!(idx, AddrIndex::Dense { .. }));
+        assert_eq!(idx.lookup(Addr::new(10, 0, 0, 2)), Some(0));
+        assert_eq!(idx.lookup(Addr::new(10, 0, 0, 5)), Some(1));
+        assert_eq!(idx.lookup(Addr::new(10, 1, 0, 2)), Some(2));
+        assert_eq!(idx.lookup(Addr::new(10, 0, 0, 3)), None);
+        assert_eq!(idx.lookup(Addr::new(9, 0, 0, 2)), None);
+        assert_eq!(idx.lookup(Addr::new(10, 1, 0, 3)), None);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn addr_index_sparse_fallback() {
+        let keys = vec![0u32, u32::MAX - 1];
+        let idx = AddrIndex::build(&keys);
+        assert!(matches!(idx, AddrIndex::Sparse { .. }));
+        assert_eq!(idx.lookup(Addr(0u32.to_be_bytes())), Some(0));
+        assert_eq!(idx.lookup(Addr((u32::MAX - 1).to_be_bytes())), Some(1));
+        assert_eq!(idx.lookup(Addr(7u32.to_be_bytes())), None);
+    }
+
+    #[test]
+    fn fib_port_and_hash_entries() {
+        let mut b = FibBuilder::new(3);
+        b.port(0, PortId(4));
+        let g = b.group(&[PortId(1), PortId(2), PortId(3)]);
+        b.hashed(1, g, 0, 0xABCD);
+        let fib = b.build();
+        assert_eq!(fib.lookup(0, FlowId(9)), Some(PortId(4)));
+        // Hash entry reproduces the dynamic formula exactly.
+        let h = mix64(9 ^ 0xABCD);
+        let expect = [PortId(1), PortId(2), PortId(3)][(h % 3) as usize];
+        assert_eq!(fib.lookup(1, FlowId(9)), Some(expect));
+        // Miss falls through.
+        assert_eq!(fib.lookup(2, FlowId(9)), None);
+    }
+}

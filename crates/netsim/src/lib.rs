@@ -21,6 +21,7 @@
 
 pub mod addr;
 pub mod agent;
+pub mod fib;
 pub mod hash;
 pub mod link;
 pub mod network;
@@ -33,10 +34,11 @@ pub mod trace;
 
 pub use addr::Addr;
 pub use agent::{Agent, Ctx};
+pub use fib::{AddrIndex, CompiledFib, FibBuilder, FibEntry};
 pub use link::{FaultConfig, LinkId, LinkParams};
-pub use network::{NetEvent, Sim};
+pub use network::{NetEvent, Sim, SimTuning};
 pub use node::{NodeId, PortId};
 pub use packet::{Ecn, FlowId, Packet};
 pub use queue::{DropTail, EcnThreshold, EnqueueOutcome, Qdisc, QdiscConfig, Red, RedMode};
-pub use routing::{EcmpRouter, Router, StaticRouter};
+pub use routing::{mix64, EcmpRouter, Router, StaticRouter};
 pub use trace::{TraceBuffer, TraceEvent, TraceKind};

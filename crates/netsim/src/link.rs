@@ -10,6 +10,7 @@ use crate::node::{NodeId, PortId};
 use crate::packet::Packet;
 use crate::queue::{Qdisc, QdiscConfig};
 use crate::stats::DirStats;
+use std::collections::VecDeque;
 use std::fmt;
 use xmp_des::{Bandwidth, SimDuration, SimRng, SimTime};
 
@@ -75,6 +76,14 @@ pub struct Direction<P> {
     pub stats: DirStats,
     pub(crate) fault: FaultConfig,
     pub(crate) fault_rng: SimRng,
+    /// Lazy pipeline: when the port frees up. Serialization is FIFO and
+    /// non-preemptive, so a packet accepted at `now` starts transmitting at
+    /// `busy_until.max(now)` — its departure is fully determined at enqueue.
+    pub(crate) busy_until: SimTime,
+    /// Lazy pipeline: `(start, depart)` per accepted, undelivered-from-port
+    /// packet, in departure order. The front entry with `start <= now` is
+    /// the one "on the wire"; later entries are the waiting backlog.
+    pub(crate) pending: VecDeque<(SimTime, SimTime)>,
 }
 
 impl<P> Direction<P> {
@@ -87,6 +96,45 @@ impl<P> Direction<P> {
     pub(crate) fn sample_backlog(&mut self, now: SimTime) {
         let depth = self.queue.len() + usize::from(self.in_flight.is_some());
         self.stats.observe_backlog(now, depth);
+    }
+
+    /// Lazy pipeline: retire entries that departed strictly before `now`,
+    /// replaying the backlog sample the eager path would have taken at each
+    /// `TxDone`. Strict, because the eager path processes a same-timestamp
+    /// arrival *before* the `TxDone` scheduled for the same instant
+    /// (propagation exceeds serialization on every in-tree link, so the
+    /// arrival was scheduled first).
+    pub(crate) fn lazy_advance(&mut self, now: SimTime) {
+        while let Some(&(_, depart)) = self.pending.front() {
+            if depart >= now {
+                break;
+            }
+            self.pending.pop_front();
+            self.stats.observe_backlog(depart, self.pending.len());
+        }
+    }
+
+    /// Lazy pipeline: retire entries with `depart <= t` — used when a run
+    /// window closes, mirroring the eager engine processing every `TxDone`
+    /// up to and including the deadline.
+    pub(crate) fn lazy_flush(&mut self, t: SimTime) {
+        while let Some(&(_, depart)) = self.pending.front() {
+            if depart > t {
+                break;
+            }
+            self.pending.pop_front();
+            self.stats.observe_backlog(depart, self.pending.len());
+        }
+    }
+
+    /// Lazy pipeline: waiting backlog at `now` (excluding the packet on the
+    /// wire), after [`Self::lazy_advance`]. The front entry has started
+    /// whenever `start <= now`.
+    pub(crate) fn lazy_waiting(&self, now: SimTime) -> usize {
+        match self.pending.front() {
+            Some(&(start, _)) if start <= now => self.pending.len() - 1,
+            _ => self.pending.len(),
+        }
     }
 }
 
@@ -132,6 +180,8 @@ impl<P> Link<P> {
             stats: DirStats::default(),
             fault: params.fault,
             fault_rng: rng.derive((link_index as u64) << 1 | salt),
+            busy_until: SimTime::ZERO,
+            pending: VecDeque::new(),
         };
         Link {
             bandwidth: params.bandwidth,

@@ -15,11 +15,13 @@
 //! access through [`Sim::with_agent`], and observe out-of-band agent signals
 //! through the `run_until` callback.
 
+use crate::addr::Addr;
 use crate::agent::{Agent, Ctx, Emit};
+use crate::fib::{AddrIndex, CompiledFib};
 use crate::hash::FxHashMap;
 use crate::link::{Link, LinkId, LinkParams};
 use crate::node::{Node, NodeId, NodeKind, PortId};
-use crate::packet::Packet;
+use crate::packet::{FlowId, Packet};
 use crate::queue::EnqueueOutcome;
 use crate::routing::Router;
 use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
@@ -29,6 +31,33 @@ use xmp_des::{Engine, SimRng, SimTime};
 /// Payload requirements for simulated packets.
 pub trait Payload: Clone + std::fmt::Debug + Send + 'static {}
 impl<T: Clone + std::fmt::Debug + Send + 'static> Payload for T {}
+
+/// Hot-path implementation switches. Both selections are proven
+/// behaviour-preserving by differential tests; the slow paths stay in-tree
+/// as benchmark baselines (`bench_pr2`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimTuning {
+    /// Forward through compiled flat FIBs ([`crate::fib`]) instead of the
+    /// dynamic `Router::route` scan. Bit-identical by construction
+    /// (compilation misses fall back to the dynamic router), so on by
+    /// default.
+    pub compiled_fib: bool,
+    /// One engine event per packet-hop: skip `TxDone` and schedule the
+    /// `Deliver` directly from precomputed departure times. Equivalence
+    /// with the eager pipeline rests on propagation delay exceeding
+    /// serialization time (true for every in-tree topology) and is pinned
+    /// empirically by multi-seed differential tests; off by default.
+    pub lazy_links: bool,
+}
+
+impl Default for SimTuning {
+    fn default() -> Self {
+        SimTuning {
+            compiled_fib: true,
+            lazy_links: false,
+        }
+    }
+}
 
 /// Events processed by the network simulation.
 #[derive(Debug)]
@@ -60,6 +89,28 @@ pub enum NetEvent<P> {
     },
 }
 
+/// Same-instant tie keys for engine events (see `Engine::schedule_keyed`).
+///
+/// Events firing at the same instant are ranked by *identity*, not by when
+/// they were scheduled: all packet arrivals first (by link, direction),
+/// then agent timers (by node), then — eager pipeline only — `TxDone`
+/// bookkeeping. This is load-bearing for the lazy/eager bit-identity: the
+/// lazy pipeline schedules a packet's `Deliver` at enqueue time while the
+/// eager one schedules it at transmit start, so scheduling order differs
+/// between the modes but the identity rank does not. `TxDone` last ensures
+/// every same-instant arrival is enqueued before the transmitter pops and
+/// samples its backlog, matching the lazy pipeline's analytic replay
+/// (which pops departures strictly *before* `now` at each enqueue).
+fn deliver_key(link: LinkId, dir: u8) -> u64 {
+    ((link.0 as u64) << 1) | dir as u64
+}
+fn timer_key(node: NodeId) -> u64 {
+    (1 << 62) | node.0 as u64
+}
+fn tx_done_key(link: LinkId, dir: u8) -> u64 {
+    (2 << 62) | ((link.0 as u64) << 1) | dir as u64
+}
+
 /// The whole simulation.
 pub struct Sim<P: Payload> {
     engine: Engine<NetEvent<P>>,
@@ -81,6 +132,14 @@ pub struct Sim<P: Payload> {
     emit_pool: Vec<Vec<Emit<P>>>,
     rng: SimRng,
     trace: Option<TraceBuffer>,
+    tuning: SimTuning,
+    /// Destination index over the address book, built with the FIBs.
+    addr_index: Option<AddrIndex>,
+    /// Per-node compiled forwarding table (`None` for hosts and for
+    /// routers that don't compile).
+    fibs: Vec<Option<CompiledFib>>,
+    /// Cleared whenever topology or tuning changes; `run_until` rebuilds.
+    fibs_ready: bool,
 }
 
 impl<P: Payload> Sim<P> {
@@ -98,7 +157,23 @@ impl<P: Payload> Sim<P> {
             emit_pool: Vec::new(),
             rng: SimRng::new(seed),
             trace: None,
+            tuning: SimTuning::default(),
+            addr_index: None,
+            fibs: Vec::new(),
+            fibs_ready: false,
         }
+    }
+
+    /// Select hot-path implementations (call before running; changing the
+    /// tuning invalidates any compiled FIBs).
+    pub fn set_tuning(&mut self, tuning: SimTuning) {
+        self.tuning = tuning;
+        self.fibs_ready = false;
+    }
+
+    /// Current hot-path tuning.
+    pub fn tuning(&self) -> SimTuning {
+        self.tuning
     }
 
     fn take_emit_buf(&mut self) -> Vec<Emit<P>> {
@@ -142,22 +217,26 @@ impl<P: Payload> Sim<P> {
     }
 
     /// Add a switch forwarding with `router`.
-    pub fn add_switch(&mut self, label: impl Into<String>, router: Box<dyn Router>) -> NodeId {
+    pub fn add_switch(&mut self, label: impl Into<String>, mut router: Box<dyn Router>) -> NodeId {
+        router.prepare();
         let id = NodeId(self.nodes.len() as u32);
         self.nodes
             .push(Node::new(NodeKind::Switch(router), label.into()));
         self.agents.push(None);
         self.timer_gens.push(FxHashMap::default());
+        self.fibs_ready = false;
         id
     }
 
     /// Replace a switch's router (topology builders wire routes after
     /// connecting, once port numbers are known).
-    pub fn set_router(&mut self, node: NodeId, router: Box<dyn Router>) {
+    pub fn set_router(&mut self, node: NodeId, mut router: Box<dyn Router>) {
+        router.prepare();
         match &mut self.nodes[node.0 as usize].kind {
             NodeKind::Switch(r) => *r = router,
             NodeKind::Host => panic!("set_router on a host"),
         }
+        self.fibs_ready = false;
     }
 
     /// Connect `a` and `b` with a full-duplex link; returns its id.
@@ -188,6 +267,14 @@ impl<P: Payload> Sim<P> {
             Ok(i) => panic!("address {addr} already bound to {:?}", self.addr_book[i].1),
             Err(i) => self.addr_book.insert(i, (key, node)),
         }
+        self.fibs_ready = false;
+    }
+
+    /// Iterate all bound `(address, node)` pairs in address order.
+    pub fn addresses(&self) -> impl Iterator<Item = (Addr, NodeId)> + '_ {
+        self.addr_book
+            .iter()
+            .map(|&(k, n)| (Addr(k.to_be_bytes()), n))
     }
 
     /// Node owning `addr`, if bound.
@@ -271,12 +358,17 @@ impl<P: Payload> Sim<P> {
         deadline: SimTime,
         mut on_signal: impl FnMut(&mut Self, NodeId, u64),
     ) {
+        self.compile_fibs();
         while let Some((_, ev)) = self.engine.pop_at_or_before(deadline) {
             self.handle(ev);
             while let Some((node, code)) = self.signals.pop_front() {
                 on_signal(self, node, code);
             }
         }
+        // Eager processed every TxDone up to the deadline; retire the
+        // matching lazy departures so stats observed after the run window
+        // (and any run that resumes later) see identical samples.
+        self.flush_lazy(deadline);
     }
 
     /// `run_until` ignoring signals.
@@ -289,6 +381,72 @@ impl<P: Payload> Sim<P> {
     /// start flows at exact scheduled instants between network events.
     pub fn advance_to(&mut self, t: SimTime) {
         self.engine.advance_to(t);
+        self.flush_lazy(t);
+    }
+
+    /// Build the destination index and per-switch compiled FIBs (no-op when
+    /// already current). `run_until` calls this automatically; tests that
+    /// probe [`Sim::route_on`] directly call it themselves.
+    pub fn compile_fibs(&mut self) {
+        if self.fibs_ready {
+            return;
+        }
+        if self.tuning.compiled_fib {
+            let keys: Vec<u32> = self.addr_book.iter().map(|&(k, _)| k).collect();
+            let dsts: Vec<Addr> = self
+                .addr_book
+                .iter()
+                .map(|&(k, _)| Addr(k.to_be_bytes()))
+                .collect();
+            self.addr_index = Some(AddrIndex::build(&keys));
+            self.fibs = self
+                .nodes
+                .iter()
+                .map(|n| match &n.kind {
+                    NodeKind::Switch(r) => r.compile(&dsts),
+                    NodeKind::Host => None,
+                })
+                .collect();
+        } else {
+            self.addr_index = None;
+            self.fibs = (0..self.nodes.len()).map(|_| None).collect();
+        }
+        self.fibs_ready = true;
+    }
+
+    /// Forwarding decision exactly as the hot path makes it: compiled FIB
+    /// when available, dynamic router otherwise (requires
+    /// [`Sim::compile_fibs`]). Panics on hosts and unroutable destinations,
+    /// like forwarding would.
+    pub fn route_on(&self, node: NodeId, dst: Addr, flow: FlowId, in_port: PortId) -> PortId {
+        assert!(self.fibs_ready, "call compile_fibs() before route_on()");
+        let compiled = self.fibs[node.0 as usize].as_ref();
+        match (compiled, &self.addr_index) {
+            (Some(fib), Some(ai)) => ai
+                .lookup(dst)
+                .and_then(|di| fib.lookup(di, flow))
+                .unwrap_or_else(|| self.route_dynamic(node, dst, flow, in_port)),
+            _ => self.route_dynamic(node, dst, flow, in_port),
+        }
+    }
+
+    /// Forwarding decision from the dynamic router alone.
+    pub fn route_dynamic(&self, node: NodeId, dst: Addr, flow: FlowId, in_port: PortId) -> PortId {
+        match &self.nodes[node.0 as usize].kind {
+            NodeKind::Switch(router) => router.route(dst, flow, in_port),
+            NodeKind::Host => panic!("route_dynamic on a host"),
+        }
+    }
+
+    fn flush_lazy(&mut self, t: SimTime) {
+        if !self.tuning.lazy_links {
+            return;
+        }
+        for l in &mut self.links {
+            for d in &mut l.dirs {
+                d.lazy_flush(t);
+            }
+        }
     }
 
     fn handle(&mut self, ev: NetEvent<P>) {
@@ -309,24 +467,39 @@ impl<P: Payload> Sim<P> {
             .in_flight
             .take()
             .expect("TxDone with nothing in flight");
-        self.engine
-            .schedule(now + delay, NetEvent::Deliver { link, dir, pkt });
+        self.engine.schedule_keyed(
+            now + delay,
+            deliver_key(link, dir),
+            NetEvent::Deliver { link, dir, pkt },
+        );
         if let Some(next) = d.queue.dequeue() {
             let tx = bandwidth.transmission_time(next.size);
             d.in_flight = Some(next);
-            self.engine
-                .schedule(now + tx, NetEvent::TxDone { link, dir });
+            self.engine.schedule_keyed(
+                now + tx,
+                tx_done_key(link, dir),
+                NetEvent::TxDone { link, dir },
+            );
         }
         d.sample_backlog(now);
     }
 
     fn on_deliver(&mut self, link: LinkId, dir: u8, pkt: Packet<P>) {
         let now = self.engine.now();
+        let lazy = self.tuning.lazy_links;
         let l = &mut self.links[link.0 as usize];
         let d = l.dir_mut(dir);
         d.stats.delivered += 1;
         d.stats.delivered_bytes += pkt.size;
         if let Some(t) = self.trace.as_mut() {
+            // The lazy pipeline only reconstructs the waiting backlog when
+            // someone looks (tracing is off in measurement runs).
+            let backlog = if lazy {
+                d.lazy_advance(now);
+                d.lazy_waiting(now)
+            } else {
+                d.queue.len()
+            };
             t.record(TraceEvent {
                 at: now,
                 link,
@@ -334,14 +507,28 @@ impl<P: Payload> Sim<P> {
                 kind: TraceKind::Deliver,
                 flow: pkt.flow,
                 size: pkt.size.as_bytes(),
-                backlog: d.queue.len(),
+                backlog,
             });
         }
         let to_node = d.to_node;
         let to_port = d.to_port;
         match &self.nodes[to_node.0 as usize].kind {
             NodeKind::Switch(router) => {
-                let out_port = router.route(pkt.dst, pkt.flow, to_port);
+                // Stale-safe: a mid-run topology change (signal callbacks
+                // may mutate the sim) drops back to the dynamic router
+                // until the next `run_until` recompiles.
+                let compiled = if self.fibs_ready {
+                    self.fibs.get(to_node.0 as usize).and_then(|f| f.as_ref())
+                } else {
+                    None
+                };
+                let out_port = match (compiled, &self.addr_index) {
+                    (Some(fib), Some(ai)) => ai
+                        .lookup(pkt.dst)
+                        .and_then(|di| fib.lookup(di, pkt.flow))
+                        .unwrap_or_else(|| router.route(pkt.dst, pkt.flow, to_port)),
+                    _ => router.route(pkt.dst, pkt.flow, to_port),
+                };
                 let ports = &self.nodes[to_node.0 as usize].ports;
                 let &(out_link, out_dir) = ports
                     .get(out_port.0 as usize)
@@ -408,8 +595,11 @@ impl<P: Payload> Sim<P> {
                     let gen = self.timer_gens[node.0 as usize].entry(token).or_insert(0);
                     *gen += 1;
                     let gen = *gen;
-                    self.engine
-                        .schedule(at.max(now), NetEvent::Timer { node, token, gen });
+                    self.engine.schedule_keyed(
+                        at.max(now),
+                        timer_key(node),
+                        NetEvent::Timer { node, token, gen },
+                    );
                 }
                 Emit::CancelTimer { token } => {
                     *self.timer_gens[node.0 as usize].entry(token).or_insert(0) += 1;
@@ -422,9 +612,14 @@ impl<P: Payload> Sim<P> {
 
     fn enqueue_on(&mut self, link: LinkId, dir: u8, pkt: Packet<P>) {
         let now = self.engine.now();
+        let lazy = self.tuning.lazy_links;
         let l = &mut self.links[link.0 as usize];
         let bandwidth = l.bandwidth;
+        let delay = l.delay;
         let d = l.dir_mut(dir);
+        if lazy {
+            d.lazy_advance(now);
+        }
         if d.fault.drop_prob > 0.0 && d.fault_rng.chance(d.fault.drop_prob) {
             d.stats.fault_dropped += 1;
             if let Some(t) = self.trace.as_mut() {
@@ -435,9 +630,64 @@ impl<P: Payload> Sim<P> {
                     kind: TraceKind::FaultDrop,
                     flow: pkt.flow,
                     size: pkt.size.as_bytes(),
-                    backlog: d.queue.len(),
+                    backlog: if lazy { d.lazy_waiting(now) } else { d.queue.len() },
                 });
             }
+            return;
+        }
+        if lazy {
+            // One-event pipeline: FIFO non-preemptive service means this
+            // packet's transmission window is decided right now — classify
+            // against the analytic waiting count, book the `(start,
+            // depart)` window, and schedule the arrival directly.
+            let mut pkt = pkt;
+            let waiting = d.lazy_waiting(now);
+            let (flow, size) = (pkt.flow, pkt.size.as_bytes());
+            let outcome = d.queue.classify(waiting, &mut pkt);
+            if outcome == EnqueueOutcome::Dropped {
+                d.stats.dropped += 1;
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(TraceEvent {
+                        at: now,
+                        link,
+                        dir,
+                        kind: TraceKind::Drop,
+                        flow,
+                        size,
+                        backlog: waiting,
+                    });
+                }
+                return;
+            }
+            d.stats.enqueued += 1;
+            if outcome == EnqueueOutcome::EnqueuedMarked {
+                d.stats.marked += 1;
+            }
+            if let Some(t) = self.trace.as_mut() {
+                t.record(TraceEvent {
+                    at: now,
+                    link,
+                    dir,
+                    kind: if outcome == EnqueueOutcome::EnqueuedMarked {
+                        TraceKind::Mark
+                    } else {
+                        TraceKind::Enqueue
+                    },
+                    flow,
+                    size,
+                    backlog: waiting + 1,
+                });
+            }
+            let start = d.busy_until.max(now);
+            let depart = start + bandwidth.transmission_time(pkt.size);
+            d.busy_until = depart;
+            d.pending.push_back((start, depart));
+            d.stats.observe_backlog(now, d.pending.len());
+            self.engine.schedule_keyed(
+                depart + delay,
+                deliver_key(link, dir),
+                NetEvent::Deliver { link, dir, pkt },
+            );
             return;
         }
         let (flow, size) = (pkt.flow, pkt.size.as_bytes());
@@ -480,8 +730,11 @@ impl<P: Payload> Sim<P> {
                     let next = d.queue.dequeue().expect("just enqueued");
                     let tx = bandwidth.transmission_time(next.size);
                     d.in_flight = Some(next);
-                    self.engine
-                        .schedule(now + tx, NetEvent::TxDone { link, dir });
+                    self.engine.schedule_keyed(
+                        now + tx,
+                        tx_done_key(link, dir),
+                        NetEvent::TxDone { link, dir },
+                    );
                 }
                 d.sample_backlog(now);
             }
@@ -819,5 +1072,251 @@ mod tests {
         let p = AddrPattern::any();
         assert_eq!(p.specificity(), 0);
         assert!(p.matches(Addr::new(0, 0, 0, 0)));
+    }
+
+    const LAZY: SimTuning = SimTuning {
+        compiled_fib: true,
+        lazy_links: true,
+    };
+
+    #[test]
+    fn lazy_two_hosts_timing_is_exact() {
+        let mut sim: Sim<u64> = Sim::new(1);
+        sim.set_tuning(LAZY);
+        let a = sim.add_host("a", Box::new(Probe::default()));
+        let b = sim.add_host("b", Box::new(Probe::default()));
+        sim.connect(a, b, &params_1g(), "ab");
+        let (sa, da) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+        sim.with_agent::<Probe, _>(a, |_, ctx| {
+            ctx.send(PortId(0), pkt(sa, da, 42));
+        });
+        sim.run_until_quiet(SimTime::from_millis(1));
+        sim.with_agent::<Probe, _>(b, |p, _| {
+            assert_eq!(p.received, vec![(32_000, 42)]);
+        });
+    }
+
+    #[test]
+    fn lazy_serialization_is_back_to_back() {
+        let mut sim: Sim<u64> = Sim::new(1);
+        sim.set_tuning(LAZY);
+        let a = sim.add_host("a", Box::new(Probe::default()));
+        let b = sim.add_host("b", Box::new(Probe::default()));
+        sim.connect(a, b, &params_1g(), "ab");
+        let (sa, da) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+        sim.with_agent::<Probe, _>(a, |_, ctx| {
+            for i in 0..3 {
+                ctx.send(PortId(0), pkt(sa, da, i));
+            }
+        });
+        sim.run_until_quiet(SimTime::from_millis(1));
+        sim.with_agent::<Probe, _>(b, |p, _| {
+            assert_eq!(
+                p.received.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+                vec![32_000, 44_000, 56_000]
+            );
+        });
+    }
+
+    #[test]
+    fn lazy_droptail_overflow_accounted() {
+        let mut sim: Sim<u64> = Sim::new(1);
+        sim.set_tuning(LAZY);
+        let a = sim.add_host("a", Box::new(Probe::default()));
+        let b = sim.add_host("b", Box::new(Probe::default()));
+        let l = sim.connect(
+            a,
+            b,
+            &LinkParams::new(
+                Bandwidth::from_mbps(1),
+                SimDuration::from_micros(1),
+                QdiscConfig::DropTail { cap: 2 },
+            ),
+            "slow",
+        );
+        let (sa, da) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+        sim.with_agent::<Probe, _>(a, |_, ctx| {
+            for i in 0..10 {
+                ctx.send(PortId(0), pkt(sa, da, i));
+            }
+        });
+        sim.run_until_quiet(SimTime::from_secs(1));
+        let d = sim.link(l).dir(0);
+        assert_eq!(d.stats.enqueued, 3);
+        assert_eq!(d.stats.dropped, 7);
+        assert_eq!(d.stats.delivered, 3);
+        sim.with_agent::<Probe, _>(b, |p, _| assert_eq!(p.received.len(), 3));
+    }
+
+    #[test]
+    fn lazy_ecn_threshold_marks_under_load() {
+        let mut sim: Sim<u64> = Sim::new(1);
+        sim.set_tuning(LAZY);
+        let a = sim.add_host("a", Box::new(Probe::default()));
+        let b = sim.add_host("b", Box::new(Probe::default()));
+        let l = sim.connect(
+            a,
+            b,
+            &LinkParams::new(
+                Bandwidth::from_mbps(10),
+                SimDuration::from_micros(1),
+                QdiscConfig::EcnThreshold { cap: 100, k: 3 },
+            ),
+            "mk",
+        );
+        let (sa, da) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+        sim.with_agent::<Probe, _>(a, |_, ctx| {
+            for i in 0..10 {
+                let mut p = pkt(sa, da, i);
+                p.ecn = Ecn::Ect;
+                ctx.send(PortId(0), p);
+            }
+        });
+        sim.run_until_quiet(SimTime::from_secs(1));
+        let s = &sim.link(l).dir(0).stats;
+        assert_eq!(s.marked, 6);
+        assert!(sim.link(l).dir(0).stats.max_depth <= 10);
+        sim.with_agent::<Probe, _>(b, |p, _| assert_eq!(p.received.len(), 10));
+    }
+
+    /// Lazy pipeline halves engine events per packet-hop: 10 delivered
+    /// packets cost 10 Deliver events instead of 10 TxDone + 10 Deliver.
+    #[test]
+    fn lazy_halves_events_per_hop() {
+        let count_events = |tuning: SimTuning| {
+            let mut sim: Sim<u64> = Sim::new(1);
+            sim.set_tuning(tuning);
+            let a = sim.add_host("a", Box::new(Probe::default()));
+            let b = sim.add_host("b", Box::new(Probe::default()));
+            sim.connect(a, b, &params_1g(), "ab");
+            let (sa, da) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+            sim.with_agent::<Probe, _>(a, |_, ctx| {
+                for i in 0..10 {
+                    ctx.send(PortId(0), pkt(sa, da, i));
+                }
+            });
+            sim.run_until_quiet(SimTime::from_millis(1));
+            sim.events_processed()
+        };
+        let eager = count_events(SimTuning::default());
+        let lazy = count_events(LAZY);
+        assert_eq!(eager, 20);
+        assert_eq!(lazy, 10);
+    }
+
+    /// Multi-seed differential: eager and lazy pipelines produce identical
+    /// arrival times, payloads, per-direction stats and trace counters on a
+    /// lossy contended link.
+    #[test]
+    fn lazy_matches_eager_seeded() {
+        fn run(seed: u64, tuning: SimTuning) -> (Vec<(u64, u64)>, String, Vec<u64>) {
+            let mut sim: Sim<u64> = Sim::new(seed);
+            sim.set_tuning(tuning);
+            let a = sim.add_host("a", Box::new(Probe::default()));
+            let b = sim.add_host("b", Box::new(Probe::default()));
+            let l = sim.connect(
+                a,
+                b,
+                &LinkParams::new(
+                    Bandwidth::from_mbps(10),
+                    SimDuration::from_micros(50),
+                    QdiscConfig::EcnThreshold { cap: 8, k: 3 },
+                )
+                .with_drop_prob(0.1),
+                "l",
+            );
+            sim.enable_trace(16);
+            let (sa, da) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+            let mut rng = SimRng::new(seed ^ 0xD1FF);
+            // Bursty arrivals across several run windows.
+            for burst in 0..5u64 {
+                let n = 1 + rng.index(12);
+                sim.with_agent::<Probe, _>(a, |_, ctx| {
+                    for i in 0..n {
+                        let mut p = pkt(sa, da, burst * 100 + i as u64);
+                        p.ecn = Ecn::Ect;
+                        ctx.send(PortId(0), p);
+                    }
+                });
+                let stop = SimTime::from_millis(3 * (burst + 1));
+                sim.run_until_quiet(stop);
+                sim.advance_to(stop);
+            }
+            let d = sim.link(l).dir(0);
+            let stats = format!("{:?}", d.stats);
+            let t = sim.trace().unwrap();
+            let counts = [
+                TraceKind::Enqueue,
+                TraceKind::Mark,
+                TraceKind::Drop,
+                TraceKind::FaultDrop,
+                TraceKind::Deliver,
+            ]
+            .iter()
+            .map(|&k| t.count(k))
+            .collect();
+            let received = sim.with_agent::<Probe, _>(b, |p, _| p.received.clone());
+            (received, stats, counts)
+        }
+        for seed in 0..40u64 {
+            let eager = run(seed, SimTuning::default());
+            let lazy = run(seed, LAZY);
+            assert_eq!(eager, lazy, "seed {seed} diverged");
+        }
+    }
+
+    /// The compiled-FIB path and the dynamic path deliver identically; the
+    /// test hooks agree with each other.
+    #[test]
+    fn compiled_fib_matches_dynamic_forwarding() {
+        fn run(compiled: bool) -> Vec<(u64, u64)> {
+            let mut sim: Sim<u64> = Sim::new(1);
+            sim.set_tuning(SimTuning {
+                compiled_fib: compiled,
+                lazy_links: false,
+            });
+            let h1 = sim.add_host("h1", Box::new(Probe::default()));
+            let h2 = sim.add_host("h2", Box::new(Probe::default()));
+            let sw = sim.add_switch("sw", Box::new(StaticRouter::new()));
+            sim.connect(h1, sw, &params_1g(), "h1-sw");
+            sim.connect(h2, sw, &params_1g(), "h2-sw");
+            let (a1, a2) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+            sim.bind_addr(a1, h1);
+            sim.bind_addr(a2, h2);
+            sim.set_router(
+                sw,
+                Box::new(StaticRouter::new().to(a1, PortId(0)).to(a2, PortId(1))),
+            );
+            sim.with_agent::<Probe, _>(h1, |_, ctx| {
+                for i in 0..5 {
+                    ctx.send(PortId(0), pkt(a1, a2, i));
+                }
+            });
+            sim.run_until_quiet(SimTime::from_millis(1));
+            sim.with_agent::<Probe, _>(h2, |p, _| p.received.clone())
+        }
+        assert_eq!(run(true), run(false));
+
+        // Hook-level agreement, including an unbound destination (FIB miss
+        // falling back to the dynamic default route).
+        let mut sim: Sim<u64> = Sim::new(1);
+        let h1 = sim.add_host("h1", Box::new(Probe::default()));
+        let sw = sim.add_switch("sw", Box::new(StaticRouter::new()));
+        sim.connect(h1, sw, &params_1g(), "h1-sw");
+        let a1 = Addr::new(10, 0, 0, 1);
+        sim.bind_addr(a1, h1);
+        sim.set_router(sw, Box::new(StaticRouter::new().default_via(PortId(0))));
+        sim.compile_fibs();
+        for f in 0..8 {
+            assert_eq!(
+                sim.route_on(sw, a1, FlowId(f), PortId(0)),
+                sim.route_dynamic(sw, a1, FlowId(f), PortId(0))
+            );
+            let unbound = Addr::new(9, 9, 9, 9);
+            assert_eq!(
+                sim.route_on(sw, unbound, FlowId(f), PortId(0)),
+                sim.route_dynamic(sw, unbound, FlowId(f), PortId(0))
+            );
+        }
     }
 }

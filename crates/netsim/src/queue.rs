@@ -33,9 +33,20 @@ pub enum EnqueueOutcome {
 }
 
 /// A FIFO queue discipline over simulator packets.
+///
+/// The mark/drop decision is factored out of buffering as
+/// [`Qdisc::classify`] so the lazy link pipeline — which tracks backlog
+/// analytically instead of holding packets in the discipline's buffer —
+/// exercises the *same* decision code as the eager path: `enqueue` is
+/// required to behave exactly like `classify(self.len(), ..)` followed by
+/// a push when accepted.
 pub trait Qdisc<P>: Send {
     /// Offer a packet; the discipline may mark, enqueue or drop it.
     fn enqueue(&mut self, pkt: Packet<P>) -> EnqueueOutcome;
+    /// Decide the outcome for a packet arriving to `backlog` waiting
+    /// packets, mutating the packet (CE marking) and any internal signal
+    /// state (EWMA, RNG) — but without buffering the packet.
+    fn classify(&mut self, backlog: usize, pkt: &mut Packet<P>) -> EnqueueOutcome;
     /// Take the next packet for transmission.
     fn dequeue(&mut self) -> Option<Packet<P>>;
     /// Instantaneous backlog in packets.
@@ -120,12 +131,20 @@ impl<P> DropTail<P> {
 }
 
 impl<P: Send> Qdisc<P> for DropTail<P> {
-    fn enqueue(&mut self, pkt: Packet<P>) -> EnqueueOutcome {
-        if self.buf.len() >= self.cap {
-            return EnqueueOutcome::Dropped;
+    fn enqueue(&mut self, mut pkt: Packet<P>) -> EnqueueOutcome {
+        let outcome = self.classify(self.buf.len(), &mut pkt);
+        if outcome != EnqueueOutcome::Dropped {
+            self.buf.push_back(pkt);
         }
-        self.buf.push_back(pkt);
-        EnqueueOutcome::Enqueued
+        outcome
+    }
+
+    fn classify(&mut self, backlog: usize, _pkt: &mut Packet<P>) -> EnqueueOutcome {
+        if backlog >= self.cap {
+            EnqueueOutcome::Dropped
+        } else {
+            EnqueueOutcome::Enqueued
+        }
     }
 
     fn dequeue(&mut self) -> Option<Packet<P>> {
@@ -170,15 +189,19 @@ impl<P> EcnThreshold<P> {
 
 impl<P: Send> Qdisc<P> for EcnThreshold<P> {
     fn enqueue(&mut self, mut pkt: Packet<P>) -> EnqueueOutcome {
-        if self.buf.len() >= self.cap {
+        let outcome = self.classify(self.buf.len(), &mut pkt);
+        if outcome != EnqueueOutcome::Dropped {
+            self.buf.push_back(pkt);
+        }
+        outcome
+    }
+
+    fn classify(&mut self, backlog: usize, pkt: &mut Packet<P>) -> EnqueueOutcome {
+        if backlog >= self.cap {
             return EnqueueOutcome::Dropped;
         }
-        let mark = self.buf.len() >= self.k && pkt.ecn.is_capable();
-        if mark {
+        if backlog >= self.k && pkt.ecn.is_capable() {
             pkt.mark_ce();
-        }
-        self.buf.push_back(pkt);
-        if mark {
             EnqueueOutcome::EnqueuedMarked
         } else {
             EnqueueOutcome::Enqueued
@@ -261,9 +284,9 @@ impl<P> Red<P> {
     }
 
     /// Decide whether the arriving packet should be signalled, updating the
-    /// EWMA and the inter-mark count.
-    fn should_signal(&mut self) -> bool {
-        self.avg = (1.0 - self.wq) * self.avg + self.wq * self.buf.len() as f64;
+    /// EWMA (over `backlog` waiting packets) and the inter-mark count.
+    fn should_signal(&mut self, backlog: usize) -> bool {
+        self.avg = (1.0 - self.wq) * self.avg + self.wq * backlog as f64;
         if self.avg < self.min_th {
             self.count = -1;
             return false;
@@ -296,22 +319,27 @@ impl<P> Red<P> {
 
 impl<P: Send> Qdisc<P> for Red<P> {
     fn enqueue(&mut self, mut pkt: Packet<P>) -> EnqueueOutcome {
-        if self.buf.len() >= self.cap {
+        let outcome = self.classify(self.buf.len(), &mut pkt);
+        if outcome != EnqueueOutcome::Dropped {
+            self.buf.push_back(pkt);
+        }
+        outcome
+    }
+
+    fn classify(&mut self, backlog: usize, pkt: &mut Packet<P>) -> EnqueueOutcome {
+        if backlog >= self.cap {
             self.count = 0;
             return EnqueueOutcome::Dropped;
         }
-        let signal = self.should_signal();
-        if signal {
+        if self.should_signal(backlog) {
             match self.mode {
                 RedMode::Mark if pkt.ecn.is_capable() => {
                     pkt.mark_ce();
-                    self.buf.push_back(pkt);
                     EnqueueOutcome::EnqueuedMarked
                 }
                 _ => EnqueueOutcome::Dropped,
             }
         } else {
-            self.buf.push_back(pkt);
             EnqueueOutcome::Enqueued
         }
     }

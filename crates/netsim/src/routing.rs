@@ -7,8 +7,17 @@
 //! simulations *replace* with deterministic Two-Level Routing Lookup — kept
 //! here for ablation studies). The fat-tree two-level router lives in
 //! `xmp-topo` next to the topology that defines its semantics.
+//!
+//! Routers answer packets through the dynamic [`Router::route`], but may
+//! additionally [`Router::compile`] themselves into a flat
+//! [`CompiledFib`] once the set of reachable destinations is known — see
+//! the [`fib`](crate::fib) module. The dynamic path stays authoritative:
+//! compiled tables are checked bit-identical against it by differential
+//! tests, and any destination a router declines to compile falls back to
+//! `route()` at forwarding time.
 
 use crate::addr::Addr;
+use crate::fib::{CompiledFib, FibBuilder};
 use crate::node::PortId;
 use crate::packet::FlowId;
 
@@ -17,6 +26,19 @@ pub trait Router: Send {
     /// Choose the output port for a packet to `dst` belonging to `flow`,
     /// arriving on `in_port`.
     fn route(&self, dst: Addr, flow: FlowId, in_port: PortId) -> PortId;
+
+    /// One-time table finalization, called by the sim when the router is
+    /// installed (after which `add`-style mutation is no longer possible).
+    /// Routers that defer sorting do it here.
+    fn prepare(&mut self) {}
+
+    /// Compile this router into a flat table over the given destinations
+    /// (the sim's address book, in destination-index order). `None` means
+    /// the router doesn't support compilation; per-destination misses
+    /// inside a returned table likewise fall back to [`Router::route`].
+    fn compile(&self, _dsts: &[Addr]) -> Option<CompiledFib> {
+        None
+    }
 }
 
 /// A destination pattern: each octet either matches exactly or is a wildcard.
@@ -58,10 +80,35 @@ impl AddrPattern {
     }
 }
 
+/// First index whose pattern matches `dst` under longest-match semantics.
+///
+/// When `sorted` (descending specificity, stable) the first hit wins; on an
+/// unsorted table we scan for the highest specificity, keeping the earliest
+/// entry among equals — exactly what a stable sort followed by first-match
+/// would return, so behaviour is identical whether or not
+/// [`Router::prepare`] ran.
+fn find_match<T>(entries: &[(AddrPattern, T)], sorted: bool, dst: Addr) -> Option<usize> {
+    if sorted {
+        return entries.iter().position(|(p, _)| p.matches(dst));
+    }
+    let mut best: Option<(usize, usize)> = None;
+    for (i, (p, _)) in entries.iter().enumerate() {
+        if p.matches(dst) {
+            let s = p.specificity();
+            if best.is_none_or(|(_, bs)| s > bs) {
+                best = Some((i, s));
+            }
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
 /// Longest-match static routing over [`AddrPattern`]s.
 pub struct StaticRouter {
-    // Kept sorted by descending specificity; first match wins.
     entries: Vec<(AddrPattern, PortId)>,
+    // Entries are appended unsorted (O(1)) and stable-sorted by descending
+    // specificity once, in `prepare`; `route` handles both states.
+    sorted: bool,
 }
 
 impl StaticRouter {
@@ -69,18 +116,15 @@ impl StaticRouter {
     pub fn new() -> Self {
         StaticRouter {
             entries: Vec::new(),
+            sorted: false,
         }
     }
 
     /// Add a route; more specific patterns take precedence regardless of
     /// insertion order; equal specificity resolves by insertion order.
     pub fn add(mut self, pat: AddrPattern, port: PortId) -> Self {
-        let pos = self
-            .entries
-            .iter()
-            .position(|(p, _)| p.specificity() < pat.specificity())
-            .unwrap_or(self.entries.len());
-        self.entries.insert(pos, (pat, port));
+        self.entries.push((pat, port));
+        self.sorted = false;
         self
     }
 
@@ -103,11 +147,27 @@ impl Default for StaticRouter {
 
 impl Router for StaticRouter {
     fn route(&self, dst: Addr, _flow: FlowId, _in_port: PortId) -> PortId {
-        self.entries
-            .iter()
-            .find(|(p, _)| p.matches(dst))
-            .map(|&(_, port)| port)
+        find_match(&self.entries, self.sorted, dst)
+            .map(|i| self.entries[i].1)
             .unwrap_or_else(|| panic!("no route to {dst}"))
+    }
+
+    fn prepare(&mut self) {
+        if !self.sorted {
+            self.entries
+                .sort_by_key(|(p, _)| std::cmp::Reverse(p.specificity()));
+            self.sorted = true;
+        }
+    }
+
+    fn compile(&self, dsts: &[Addr]) -> Option<CompiledFib> {
+        let mut b = FibBuilder::new(dsts.len());
+        for (i, &dst) in dsts.iter().enumerate() {
+            if let Some(e) = find_match(&self.entries, self.sorted, dst) {
+                b.port(i, self.entries[e].1);
+            }
+        }
+        Some(b.build())
     }
 }
 
@@ -115,6 +175,7 @@ impl Router for StaticRouter {
 /// the flow id (per-flow consistent, like real switch ECMP).
 pub struct EcmpRouter {
     entries: Vec<(AddrPattern, Vec<PortId>)>,
+    sorted: bool,
 }
 
 impl EcmpRouter {
@@ -122,18 +183,15 @@ impl EcmpRouter {
     pub fn new() -> Self {
         EcmpRouter {
             entries: Vec::new(),
+            sorted: false,
         }
     }
 
     /// Add a route to a group of equal-cost ports.
     pub fn add(mut self, pat: AddrPattern, ports: Vec<PortId>) -> Self {
         assert!(!ports.is_empty(), "ECMP group must be non-empty");
-        let pos = self
-            .entries
-            .iter()
-            .position(|(p, _)| p.specificity() < pat.specificity())
-            .unwrap_or(self.entries.len());
-        self.entries.insert(pos, (pat, ports));
+        self.entries.push((pat, ports));
+        self.sorted = false;
         self
     }
 }
@@ -144,21 +202,55 @@ impl Default for EcmpRouter {
     }
 }
 
-fn mix64(mut z: u64) -> u64 {
+/// The murmur-style 64-bit finalizer used for every hash-based port choice
+/// in the tree (ECMP spreading here, per-flow path selection in `xmp-topo`,
+/// and compiled [`FibEntry::Hash`](crate::fib::FibEntry) entries).
+pub fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
     z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
     z ^ (z >> 33)
 }
 
+/// The destination word [`EcmpRouter`] salts into its flow hash.
+fn dst_salt(dst: Addr) -> u64 {
+    u64::from_le_bytes([dst.0[0], dst.0[1], dst.0[2], dst.0[3], 0, 0, 0, 0])
+}
+
 impl Router for EcmpRouter {
     fn route(&self, dst: Addr, flow: FlowId, _in_port: PortId) -> PortId {
-        let (_, group) = self
-            .entries
-            .iter()
-            .find(|(p, _)| p.matches(dst))
+        let group = find_match(&self.entries, self.sorted, dst)
+            .map(|i| &self.entries[i].1)
             .unwrap_or_else(|| panic!("no ECMP route to {dst}"));
-        let h = mix64(flow.0 ^ u64::from_le_bytes([dst.0[0], dst.0[1], dst.0[2], dst.0[3], 0, 0, 0, 0]));
+        let h = mix64(flow.0 ^ dst_salt(dst));
         group[(h % group.len() as u64) as usize]
+    }
+
+    fn prepare(&mut self) {
+        if !self.sorted {
+            self.entries
+                .sort_by_key(|(p, _)| std::cmp::Reverse(p.specificity()));
+            self.sorted = true;
+        }
+    }
+
+    fn compile(&self, dsts: &[Addr]) -> Option<CompiledFib> {
+        let mut b = FibBuilder::new(dsts.len());
+        // Intern each entry's group once, shared across destinations.
+        let mut interned: Vec<Option<(u32, u16)>> = vec![None; self.entries.len()];
+        for (i, &dst) in dsts.iter().enumerate() {
+            let Some(e) = find_match(&self.entries, self.sorted, dst) else {
+                continue;
+            };
+            let group = &self.entries[e].1;
+            if group.len() == 1 {
+                // hash % 1 == 0: a singleton group is a fixed port.
+                b.port(i, group[0]);
+            } else {
+                let g = *interned[e].get_or_insert_with(|| b.group(group));
+                b.hashed(i, g, 0, dst_salt(dst));
+            }
+        }
+        Some(b.build())
     }
 }
 
@@ -210,5 +302,71 @@ mod tests {
             seen.insert(p1);
         }
         assert!(seen.len() >= 3, "64 flows should cover most of 4 ports");
+    }
+
+    #[test]
+    fn equal_specificity_insertion_order_respected() {
+        // Two /24-style patterns both matching `dst`: the one added first
+        // must win, both before and after `prepare()` sorts the table.
+        let dst = Addr::new(10, 1, 2, 3);
+        let build = || {
+            StaticRouter::new()
+                .default_via(PortId(9))
+                .add(AddrPattern([Some(10), Some(1), Some(2), None]), PortId(1))
+                .add(AddrPattern([Some(10), None, Some(2), Some(3)]), PortId(2))
+        };
+        let unsorted = build();
+        assert_eq!(unsorted.route(dst, FlowId(0), PortId(0)), PortId(1));
+
+        let mut prepared = build();
+        prepared.prepare();
+        assert_eq!(prepared.route(dst, FlowId(0), PortId(0)), PortId(1));
+
+        // Same contract for ECMP tables (singleton groups for clarity).
+        let e = EcmpRouter::new()
+            .add(AddrPattern([Some(10), Some(1), Some(2), None]), vec![PortId(1)])
+            .add(AddrPattern([Some(10), None, Some(2), Some(3)]), vec![PortId(2)]);
+        assert_eq!(e.route(dst, FlowId(0), PortId(0)), PortId(1));
+        let mut e2 = EcmpRouter::new()
+            .add(AddrPattern([Some(10), Some(1), Some(2), None]), vec![PortId(1)])
+            .add(AddrPattern([Some(10), None, Some(2), Some(3)]), vec![PortId(2)]);
+        e2.prepare();
+        assert_eq!(e2.route(dst, FlowId(0), PortId(0)), PortId(1));
+    }
+
+    #[test]
+    fn compiled_static_matches_dynamic() {
+        let dst = Addr::new(10, 1, 2, 3);
+        let r = StaticRouter::new()
+            .default_via(PortId(0))
+            .add(AddrPattern::subnet2(dst), PortId(1))
+            .to(dst, PortId(2));
+        let dsts = [dst, Addr::new(10, 1, 9, 9), Addr::new(9, 9, 9, 9)];
+        let fib = r.compile(&dsts).unwrap();
+        for (i, &d) in dsts.iter().enumerate() {
+            assert_eq!(
+                fib.lookup(i as u32, FlowId(0)),
+                Some(r.route(d, FlowId(0), PortId(0)))
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_ecmp_matches_dynamic() {
+        let r = EcmpRouter::new().add(
+            AddrPattern::any(),
+            vec![PortId(0), PortId(1), PortId(2), PortId(3)],
+        );
+        let dsts = [Addr::new(10, 0, 0, 2), Addr::new(10, 0, 0, 3)];
+        let fib = r.compile(&dsts).unwrap();
+        for (i, &d) in dsts.iter().enumerate() {
+            for f in 0..256u64 {
+                assert_eq!(
+                    fib.lookup(i as u32, FlowId(f)),
+                    Some(r.route(d, FlowId(f), PortId(0))),
+                    "dst {d} flow {f}"
+                );
+            }
+        }
     }
 }

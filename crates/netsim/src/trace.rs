@@ -28,6 +28,17 @@ pub enum TraceKind {
 }
 
 impl TraceKind {
+    /// Dense index for per-kind counters.
+    const fn idx(self) -> usize {
+        match self {
+            TraceKind::Enqueue => 0,
+            TraceKind::Mark => 1,
+            TraceKind::Drop => 2,
+            TraceKind::FaultDrop => 3,
+            TraceKind::Deliver => 4,
+        }
+    }
+
     fn glyph(self) -> &'static str {
         match self {
             TraceKind::Enqueue => "+",
@@ -80,6 +91,9 @@ pub struct TraceBuffer {
     events: VecDeque<TraceEvent>,
     capacity: usize,
     recorded: u64,
+    /// Cumulative post-filter counts per [`TraceKind`]; unlike the retained
+    /// events these survive ring eviction.
+    counts: [u64; 5],
     /// Restrict recording to one link, if set.
     pub only_link: Option<LinkId>,
     /// Restrict recording to one flow, if set.
@@ -94,6 +108,7 @@ impl TraceBuffer {
             events: VecDeque::with_capacity(capacity.min(1 << 16)),
             capacity,
             recorded: 0,
+            counts: [0; 5],
             only_link: None,
             only_flow: None,
         }
@@ -112,6 +127,13 @@ impl TraceBuffer {
         }
         self.events.push_back(ev);
         self.recorded += 1;
+        self.counts[ev.kind.idx()] += 1;
+    }
+
+    /// Cumulative count of recorded events of `kind` (post-filter; includes
+    /// events since evicted from the ring).
+    pub fn count(&self, kind: TraceKind) -> u64 {
+        self.counts[kind.idx()]
     }
 
     /// Events currently retained, oldest first.
@@ -171,6 +193,29 @@ mod tests {
         assert_eq!(t.recorded_total(), 5);
         let first = t.events().next().unwrap();
         assert_eq!(first.at.as_nanos(), 2);
+    }
+
+    #[test]
+    fn per_kind_counters_survive_eviction() {
+        let mut t = TraceBuffer::new(2);
+        for i in 0..6 {
+            t.record(ev(i, 0, 1, TraceKind::Enqueue));
+        }
+        t.record(ev(7, 0, 1, TraceKind::Mark));
+        t.record(ev(8, 0, 1, TraceKind::Drop));
+        t.record(ev(9, 0, 1, TraceKind::FaultDrop));
+        t.record(ev(10, 0, 1, TraceKind::Deliver));
+        // Ring keeps only 2 events, counters keep everything.
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.count(TraceKind::Enqueue), 6);
+        assert_eq!(t.count(TraceKind::Mark), 1);
+        assert_eq!(t.count(TraceKind::Drop), 1);
+        assert_eq!(t.count(TraceKind::FaultDrop), 1);
+        assert_eq!(t.count(TraceKind::Deliver), 1);
+        // Filtered-out events don't count.
+        t.only_link = Some(LinkId(7));
+        t.record(ev(11, 8, 1, TraceKind::Enqueue));
+        assert_eq!(t.count(TraceKind::Enqueue), 6);
     }
 
     #[test]

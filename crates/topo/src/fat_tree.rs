@@ -23,9 +23,10 @@
 //! `(k/2)²` core switches — the full inter-pod path diversity.
 
 use xmp_des::{Bandwidth, SimDuration};
+use xmp_netsim::fib::{CompiledFib, FibBuilder};
 use xmp_netsim::network::Payload;
 use xmp_netsim::{
-    Addr, Agent, FlowId, LinkId, LinkParams, NodeId, PortId, QdiscConfig, Router, Sim,
+    mix64, Addr, Agent, FlowId, LinkId, LinkParams, NodeId, PortId, QdiscConfig, Router, Sim,
 };
 
 /// Which layer a link belongs to (Fig. 11 groups utilization by layer).
@@ -306,12 +307,6 @@ struct FatTreeRouter {
     mode: RoutingMode,
 }
 
-fn mix64(mut z: u64) -> u64 {
-    z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-    z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
-    z ^ (z >> 33)
-}
-
 #[derive(Debug)]
 enum Role {
     Edge { pod: u8, index: u8 },
@@ -373,6 +368,38 @@ impl Router for FatTreeRouter {
             }
             Role::Core => PortId(u16::from(dst.pod())),
         }
+    }
+
+    fn compile(&self, dsts: &[Addr]) -> Option<CompiledFib> {
+        let h = self.k / 2;
+        let mut b = FibBuilder::new(dsts.len());
+        // ECMP uplinks spread over ports h..k-1; both switch levels hash
+        // the same `mix64(flow)` word, the aggregation level consuming
+        // bits 16.. (hence the shift) so the two choices are independent.
+        let up_ports: Vec<PortId> = (0..h).map(|i| PortId((h + i) as u16)).collect();
+        let mut up_group: Option<(u32, u16)> = None;
+        for (i, &dst) in dsts.iter().enumerate() {
+            // Two-level lookup is a pure function of the destination
+            // address, as are all down-paths; only ECMP uplinks hash.
+            let deterministic = match (self.mode, &self.role) {
+                (RoutingMode::TwoLevel, _) | (_, Role::Core) => true,
+                (RoutingMode::EcmpPerFlow, Role::Edge { pod, index }) => {
+                    dst.pod() == *pod && dst.switch() == *index
+                }
+                (RoutingMode::EcmpPerFlow, Role::Agg { pod }) => dst.pod() == *pod,
+            };
+            if deterministic {
+                b.port(i, self.route(dst, FlowId(0), PortId(0)));
+            } else {
+                let g = *up_group.get_or_insert_with(|| b.group(&up_ports));
+                let shift = match self.role {
+                    Role::Agg { .. } => 16,
+                    _ => 0,
+                };
+                b.hashed(i, g, shift, 0);
+            }
+        }
+        Some(b.build())
     }
 }
 

@@ -1,0 +1,163 @@
+//! Differential bit-identity: compiled FIBs vs dynamic routers.
+//!
+//! Every in-tree topology is built, its FIBs compiled, and every switch is
+//! asked for its forwarding decision over every bound destination address,
+//! a spread of flow ids (ECMP hashing) and every ingress port. The
+//! compiled answer must equal the dynamic router's, bit for bit —
+//! including the "no route" panic for (switch, destination) pairs the
+//! topology never uses (torus/testbed switches only know their paths).
+
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+use xmp_des::{Bandwidth, SimDuration, SimRng};
+use xmp_netsim::{
+    Addr, Agent, Ctx, FlowId, NodeId, Packet, PortId, QdiscConfig, Sim,
+};
+use xmp_topo::fat_tree::{FatTree, FatTreeConfig, RoutingMode};
+use xmp_topo::testbed::{FairnessTestbed, ShiftTestbed, TestbedConfig};
+use xmp_topo::torus::{Torus, TorusConfig};
+use xmp_topo::Dumbbell;
+
+#[derive(Default)]
+struct Probe;
+impl Agent<u64> for Probe {
+    fn on_packet(&mut self, _p: Packet<u64>, _port: PortId, _c: &mut Ctx<'_, u64>) {}
+    fn on_timer(&mut self, _t: u64, _c: &mut Ctx<'_, u64>) {}
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Flow ids to sweep: small consecutive ids plus seeded 64-bit ones, so
+/// both hash words (low bits for the first ECMP level, bits 16.. for the
+/// second) get exercised.
+fn flow_set(extra: usize) -> Vec<u64> {
+    let mut flows: Vec<u64> = (0..16).collect();
+    let mut rng = SimRng::new(0xF1B);
+    flows.extend((0..extra).map(|_| rng.uniform_u64(0, u64::MAX - 1)));
+    flows
+}
+
+/// Assert `route_on` (compiled, with dynamic fallback) equals
+/// `route_dynamic` for every (switch, dst, flow, in_port) combination.
+/// Unroutable pairs must panic on both paths.
+fn assert_fib_identical(sim: &mut Sim<u64>, name: &str, flows: &[u64], max_in_ports: usize) {
+    sim.compile_fibs();
+    let addrs: Vec<Addr> = sim.addresses().map(|(a, _)| a).collect();
+    assert!(!addrs.is_empty(), "{name}: no bound addresses");
+    let switches: Vec<NodeId> = (0..sim.node_count() as u32)
+        .map(NodeId)
+        .filter(|&n| !sim.node(n).is_host())
+        .collect();
+    assert!(!switches.is_empty(), "{name}: no switches");
+
+    // Silence expected "no route" panics while probing routability.
+    let hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let mut checked = 0u64;
+    for &swid in &switches {
+        let ports = sim.node(swid).port_count().min(max_in_ports);
+        for &dst in &addrs {
+            for &f in flows {
+                for p in 0..ports {
+                    let in_port = PortId(p as u16);
+                    let dynamic = panic::catch_unwind(AssertUnwindSafe(|| {
+                        sim.route_dynamic(swid, dst, FlowId(f), in_port)
+                    }));
+                    let compiled = panic::catch_unwind(AssertUnwindSafe(|| {
+                        sim.route_on(swid, dst, FlowId(f), in_port)
+                    }));
+                    match (dynamic, compiled) {
+                        (Ok(a), Ok(b)) => {
+                            assert_eq!(
+                                a, b,
+                                "{name}: {swid:?} dst {dst} flow {f} in {in_port:?}"
+                            );
+                            checked += 1;
+                        }
+                        (Err(_), Err(_)) => {} // both unroutable: identical
+                        (Ok(p), Err(_)) => {
+                            panic::set_hook(hook);
+                            panic!("{name}: compiled panicked where dynamic routes {swid:?} dst {dst} -> {p:?}");
+                        }
+                        (Err(_), Ok(p)) => {
+                            panic::set_hook(hook);
+                            panic!("{name}: compiled invented route {swid:?} dst {dst} -> {p:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    panic::set_hook(hook);
+    assert!(checked > 0, "{name}: nothing was routable");
+}
+
+#[test]
+fn dumbbell_fib_is_bit_identical() {
+    let mut sim: Sim<u64> = Sim::new(1);
+    Dumbbell::build(
+        &mut sim,
+        4,
+        Bandwidth::from_gbps(1),
+        SimDuration::from_micros(224),
+        QdiscConfig::DropTail { cap: 100 },
+        |_| Box::<Probe>::default(),
+    );
+    assert_fib_identical(&mut sim, "dumbbell", &flow_set(16), usize::MAX);
+}
+
+#[test]
+fn fat_tree_k4_fib_is_bit_identical_both_modes() {
+    for routing in [RoutingMode::TwoLevel, RoutingMode::EcmpPerFlow] {
+        let mut sim: Sim<u64> = Sim::new(1);
+        let cfg = FatTreeConfig {
+            k: 4,
+            routing,
+            ..FatTreeConfig::paper(QdiscConfig::DropTail { cap: 100 })
+        };
+        FatTree::build(&mut sim, &cfg, |_| Box::<Probe>::default());
+        assert_fib_identical(&mut sim, &format!("fat_tree k=4 {routing:?}"), &flow_set(16), usize::MAX);
+    }
+}
+
+#[test]
+fn fat_tree_k8_fib_is_bit_identical_both_modes() {
+    // k=8: 80 switches x 2048 bound aliases; keep the flow/in-port spread
+    // small so the exhaustive destination sweep stays fast.
+    let flows: Vec<u64> = flow_set(4).into_iter().step_by(5).collect();
+    for routing in [RoutingMode::TwoLevel, RoutingMode::EcmpPerFlow] {
+        let mut sim: Sim<u64> = Sim::new(1);
+        let cfg = FatTreeConfig {
+            k: 8,
+            routing,
+            ..FatTreeConfig::paper(QdiscConfig::DropTail { cap: 100 })
+        };
+        FatTree::build(&mut sim, &cfg, |_| Box::<Probe>::default());
+        assert_fib_identical(&mut sim, &format!("fat_tree k=8 {routing:?}"), &flows, 2);
+    }
+}
+
+#[test]
+fn torus_fib_is_bit_identical() {
+    let mut sim: Sim<u64> = Sim::new(1);
+    Torus::build(&mut sim, &TorusConfig::default(), |_| {
+        Box::<Probe>::default()
+    });
+    assert_fib_identical(&mut sim, "torus", &flow_set(16), usize::MAX);
+}
+
+#[test]
+fn testbeds_fib_is_bit_identical() {
+    let mut sim: Sim<u64> = Sim::new(1);
+    ShiftTestbed::build(&mut sim, &TestbedConfig::default(), |_| {
+        Box::<Probe>::default()
+    });
+    assert_fib_identical(&mut sim, "shift testbed", &flow_set(16), usize::MAX);
+
+    let mut sim: Sim<u64> = Sim::new(1);
+    FairnessTestbed::build(&mut sim, &TestbedConfig::default(), |_| {
+        Box::<Probe>::default()
+    });
+    assert_fib_identical(&mut sim, "fairness testbed", &flow_set(16), usize::MAX);
+}

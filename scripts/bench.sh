@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# Perf snapshot: builds the bench runner in release mode and writes
-# BENCH_pr1.json into the repo root (scheduler microbench wheel-vs-heap,
-# scaled-down fig1 and table1 wall clocks, serial-vs-parallel suite).
+# Perf snapshot: builds the bench runners in release mode and writes
+# BENCH_pr1.json and BENCH_pr2.json into the repo root.
+#
+#   bench_pr1 — scheduler microbench wheel-vs-heap, scaled-down fig1 and
+#               table1 wall clocks, serial-vs-parallel suite
+#   bench_pr2 — forwarding fast path: {dynamic router, compiled FIB} x
+#               {eager, lazy link pipeline} on fig1 and a table1 cell
 #
 # The per-figure benches remain runnable individually via
 #   cargo bench --bench fig1   (etc.)
@@ -11,3 +15,5 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline -p xmp-bench
 ./target/release/bench_pr1
 echo "bench.sh: wrote $(pwd)/BENCH_pr1.json"
+./target/release/bench_pr2
+echo "bench.sh: wrote $(pwd)/BENCH_pr2.json"
