@@ -23,6 +23,7 @@ const COMBOS: [(&str, SimTuning); 4] = [
         SimTuning {
             compiled_fib: false,
             lazy_links: false,
+            drop_unroutable: false,
         },
     ),
     (
@@ -30,6 +31,7 @@ const COMBOS: [(&str, SimTuning); 4] = [
         SimTuning {
             compiled_fib: true,
             lazy_links: false,
+            drop_unroutable: false,
         },
     ),
     (
@@ -37,6 +39,7 @@ const COMBOS: [(&str, SimTuning); 4] = [
         SimTuning {
             compiled_fib: false,
             lazy_links: true,
+            drop_unroutable: false,
         },
     ),
     (
@@ -44,6 +47,7 @@ const COMBOS: [(&str, SimTuning); 4] = [
         SimTuning {
             compiled_fib: true,
             lazy_links: true,
+            drop_unroutable: false,
         },
     ),
 ];

@@ -1,0 +1,187 @@
+//! Perf snapshot for the fault-injection subsystem, written to
+//! `BENCH_pr3.json` (run from the repo root, e.g. via `scripts/bench.sh`).
+//!
+//! The fault machinery is always compiled in — generation-stamped link
+//! events, per-direction in-network ledgers, the conservation audit — so
+//! the question this bench answers is what a run with an **empty fault
+//! plan** now costs relative to the committed PR 2 numbers. It reruns
+//! `bench_pr2`'s exact workloads under all four `SimTuning` combinations
+//! and, when a committed `BENCH_pr2.json` is present, reports the
+//! `median_ms` ratio per combo (target: ≤ 1.02 for `compiled_lazy`).
+//! It also times the failover experiment itself, the one run that
+//! exercises the machinery for real.
+
+use xmp_bench::{measure, BenchConfig, Json};
+use xmp_des::SimDuration;
+use xmp_experiments::failover::{self, FailoverConfig};
+use xmp_experiments::fig1;
+use xmp_experiments::suite::{run_suite_counting, Pattern, SuiteConfig};
+use xmp_netsim::SimTuning;
+use xmp_workloads::Scheme;
+
+const COMBOS: [(&str, SimTuning); 4] = [
+    (
+        "dynamic_eager",
+        SimTuning {
+            compiled_fib: false,
+            lazy_links: false,
+            drop_unroutable: false,
+        },
+    ),
+    (
+        "compiled_eager",
+        SimTuning {
+            compiled_fib: true,
+            lazy_links: false,
+            drop_unroutable: false,
+        },
+    ),
+    (
+        "dynamic_lazy",
+        SimTuning {
+            compiled_fib: false,
+            lazy_links: true,
+            drop_unroutable: false,
+        },
+    ),
+    (
+        "compiled_lazy",
+        SimTuning {
+            compiled_fib: true,
+            lazy_links: true,
+            drop_unroutable: false,
+        },
+    ),
+];
+
+/// Scan the committed PR 2 snapshot for `section.combo.<field>` without a
+/// JSON parser (the workspace has none, by design).
+fn pr2_ms(doc: &str, section: &str, combo: &str, field: &str) -> Option<f64> {
+    let s = doc.find(&format!("\"{section}\""))?;
+    let c = s + doc[s..].find(&format!("\"{combo}\""))?;
+    let m = c + doc[c..].find(&format!("\"{field}\""))?;
+    let colon = m + doc[m..].find(':')?;
+    let rest = &doc[colon + 1..];
+    let end = rest
+        .find(|ch: char| ch == ',' || ch == '}')
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn section(
+    title: &str,
+    key: &str,
+    pr2: Option<&str>,
+    mut run: impl FnMut(SimTuning) -> u64,
+) -> Json {
+    println!("{title}:");
+    let mut out = Json::obj();
+    for (name, tuning) in COMBOS {
+        let mut events = 0;
+        // Default config (5 trials) rather than heavy (3): the overhead
+        // ratios need the extra samples to tame scheduling noise.
+        let s = measure(BenchConfig::default(), || {
+            events = run(tuning);
+        });
+        let median_ns = s.median_ns;
+        let eps = events as f64 / (median_ns as f64 / 1e9);
+        let min_ms = s.min_ms();
+        let mut cell = Json::from(s)
+            .set("events", events)
+            .set("events_per_sec", eps);
+        if let Some(r) = pr2
+            .and_then(|doc| pr2_ms(doc, key, name, "median_ms"))
+            .map(|old| (median_ns as f64 / 1e6) / old)
+        {
+            cell = cell.set("vs_pr2_median", r);
+        }
+        // Fastest-trial ratio: on a shared host the min is far more robust
+        // to scheduling noise than the median of a handful of trials.
+        let min_ratio = pr2
+            .and_then(|doc| pr2_ms(doc, key, name, "min_ms"))
+            .map(|old| min_ms / old);
+        if let Some(r) = min_ratio {
+            cell = cell.set("vs_pr2_min", r);
+        }
+        println!(
+            "  {name:<15} median {:>8.1} ms, {:>6.2} Mev/s{}",
+            median_ns as f64 / 1e6,
+            eps / 1e6,
+            min_ratio.map_or(String::new(), |r| format!(", min {r:.3}x vs PR2")),
+        );
+        out = out.set(name, cell);
+    }
+    out
+}
+
+fn main() {
+    let pr2 = std::fs::read_to_string("BENCH_pr2.json").ok();
+    if pr2.is_none() {
+        println!("note: BENCH_pr2.json not found, skipping overhead ratios");
+    }
+    let fig1_section = section(
+        "fig1 (scaled down, 4 variants, empty fault plan)",
+        "fig1_small",
+        pr2.as_deref(),
+        |tuning| {
+            let cfg = fig1::Fig1Config {
+                interval: SimDuration::from_millis(100),
+                bin: SimDuration::from_millis(20),
+                seed: 1,
+                tuning,
+            };
+            let (r, events) = fig1::run_counting(&cfg);
+            std::hint::black_box(r);
+            events
+        },
+    );
+    let table1_section = section(
+        "table1 cell (quick, XMP-2/Permutation, empty fault plan)",
+        "table1_cell_quick",
+        pr2.as_deref(),
+        |tuning| {
+            let cfg = SuiteConfig {
+                target_flows: 16,
+                tuning,
+                ..SuiteConfig::quick(Scheme::xmp(2), Pattern::Permutation)
+            };
+            let (r, events) = run_suite_counting(&cfg);
+            std::hint::black_box(r);
+            events
+        },
+    );
+    println!("failover (quick, 3 schemes, real faults):");
+    let failover_sample = measure(BenchConfig::heavy(), || {
+        std::hint::black_box(failover::run(&FailoverConfig::quick()));
+    });
+    println!(
+        "  {:<15} median {:>8.1} ms",
+        "failover_quick",
+        failover_sample.median_ns as f64 / 1e6
+    );
+
+    let report = Json::obj()
+        .set("host", xmp_bench::host_meta())
+        .set(
+            "note",
+            "vs_pr2_median / vs_pr2_min compare against the committed \
+             BENCH_pr2.json on the same workload; the fault machinery \
+             (disabled, empty plan) should cost <= ~2% on compiled_lazy. \
+             Trust vs_pr2_min on shared hosts.",
+        )
+        .set(
+            "fig1_small",
+            fig1_section.set("config", "interval 100ms, bin 20ms, seed 1"),
+        )
+        .set(
+            "table1_cell_quick",
+            table1_section.set("config", "quick k=4, 16 flows, XMP-2 / Permutation"),
+        )
+        .set(
+            "failover_quick",
+            Json::from(failover_sample).set("config", "k=4, XMP-2/LIA-2/DCTCP, 24x50ms epochs"),
+        );
+    let out = report.render();
+    std::fs::write("BENCH_pr3.json", &out).expect("write BENCH_pr3.json");
+    println!("wrote BENCH_pr3.json");
+}

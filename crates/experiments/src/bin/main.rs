@@ -12,12 +12,13 @@
 //!   fattree   the fat-tree suite: Table 1, Figs. 8/9/10/11, Table 3
 //!   table2    XMP coexistence with LIA / TCP / DCTCP
 //!   ablation  beta/K sweep, TraSh-coupling ablation, OLIA comparison
+//!   failover  goodput through a mid-transfer core-link failure
 //!   all       everything above
 //! ```
 
 use std::time::Instant;
 use xmp_experiments::suite::{self, Pattern, SuiteConfig};
-use xmp_experiments::{ablation, fig1, fig4, fig6, fig7, table2};
+use xmp_experiments::{ablation, failover, fig1, fig4, fig6, fig7, table2};
 use xmp_workloads::Scheme;
 
 #[derive(Debug, Clone)]
@@ -178,10 +179,21 @@ fn run_table2(o: &Opts) {
     println!("{r}");
 }
 
+fn run_failover(o: &Opts) {
+    let mut cfg = if o.quick {
+        failover::FailoverConfig::quick()
+    } else {
+        failover::FailoverConfig::default()
+    };
+    cfg.seed = o.seed;
+    let r = timed("failover", || failover::run(&cfg));
+    println!("{r}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: xmp-experiments <fig1|fig4|fig6|fig7|fattree|table2|ablation|all> [--quick] [--seed N] [--scale N] [--flows N]");
+        eprintln!("usage: xmp-experiments <fig1|fig4|fig6|fig7|fattree|table2|ablation|failover|all> [--quick] [--seed N] [--scale N] [--flows N]");
         std::process::exit(2);
     };
     let o = parse_opts(rest);
@@ -192,6 +204,7 @@ fn main() {
         "fig7" => run_fig7(&o),
         "fattree" | "table1" | "fig8" | "fig9" | "fig10" | "fig11" | "table3" => run_fattree(&o),
         "table2" => run_table2(&o),
+        "failover" => run_failover(&o),
         "ablation" => {
             let cfg = if o.quick {
                 ablation::AblationConfig::quick()
@@ -208,6 +221,7 @@ fn main() {
             run_fig7(&o);
             run_fattree(&o);
             run_table2(&o);
+            run_failover(&o);
         }
         other => {
             eprintln!("unknown command {other}");

@@ -11,6 +11,7 @@
 //! | Table 1, Figs. 8/10/11 (+ Fig. 9, Table 3 for Incast) | [`suite`] | The fat-tree evaluation |
 //! | Table 2 | [`table2`] | XMP coexistence with LIA / TCP / DCTCP |
 //! | (extensions) | [`ablation`] | β/K sweep, TraSh-coupling ablation, OLIA |
+//! | (extensions) | [`failover`] | goodput through a mid-transfer core-link failure |
 //!
 //! Each module exposes a `Config` (with paper defaults and a `quick()`
 //! variant for benches), a `run` function, and a `Display`able result that
@@ -19,6 +20,7 @@
 
 pub mod ablation;
 pub mod common;
+pub mod failover;
 pub mod fig1;
 pub mod fig4;
 pub mod fig6;

@@ -260,6 +260,9 @@ pub fn run_suite_counting(cfg: &SuiteConfig) -> (SuiteResult, u64) {
         });
     }
     driver.finalize_running(&mut sim);
+    // Every injected packet must be delivered, dropped for a counted
+    // reason, or still in flight — panics on a conservation violation.
+    sim.audit_conservation();
     let now = sim.now();
 
     // Collect per-flow metrics over completed large flows.

@@ -1,0 +1,106 @@
+//! End-to-end fault injection through the full transport stack: scheduled
+//! link/switch failures on a fat-tree must surface as retransmission
+//! timeouts and (for multipath) path failover — never as a hung or
+//! panicking simulation.
+
+use xmp_des::SimTime;
+use xmp_netsim::{FaultPlan, PortId, QdiscConfig, Sim};
+use xmp_topo::{FatTree, FatTreeConfig};
+use xmp_transport::{ConnKey, Segment, SubflowSpec};
+use xmp_workloads::{Driver, FlowSpecBuilder, RateSampler, Scheme};
+
+fn build_k4(seed: u64) -> (Sim<Segment>, FatTree) {
+    let mut sim: Sim<Segment> = Sim::new(seed);
+    let cfg = FatTreeConfig {
+        k: 4,
+        ..FatTreeConfig::paper(QdiscConfig::EcnThreshold { cap: 100, k: 10 })
+    };
+    let ft = FatTree::build(&mut sim, &cfg, |_| {
+        Box::new(xmp_transport::HostStack::new(
+            xmp_transport::StackConfig::default(),
+        ))
+    });
+    (sim, ft)
+}
+
+fn submit(driver: &mut Driver, ft: &FatTree, scheme: Scheme, tags: &[usize], size: u64) -> ConnKey {
+    let (src, dst) = (0usize, 4usize); // pod 0 → pod 1
+    driver.submit(FlowSpecBuilder {
+        src_node: ft.host(src),
+        subflows: tags
+            .iter()
+            .map(|&t| SubflowSpec {
+                local_port: PortId(0),
+                src: ft.host_addr(src, t),
+                dst: ft.host_addr(dst, t),
+            })
+            .collect(),
+        size,
+        scheme,
+        start: SimTime::ZERO,
+        category: Some(ft.category(src, dst)),
+        tag: 0,
+    })
+}
+
+#[test]
+fn blackhole_window_triggers_rto_and_flow_still_completes() {
+    let (mut sim, ft) = build_k4(7);
+    // The single path of a DCTCP flow goes dark for 300 ms mid-transfer;
+    // go-back-N must resend the blackholed window after repair.
+    sim.install_fault_plan(
+        &FaultPlan::new()
+            .link_down(SimTime::from_millis(30), ft.core_link(0, 0, 0))
+            .link_up(SimTime::from_millis(330), ft.core_link(0, 0, 0)),
+    );
+    let mut driver = Driver::new();
+    let conn = submit(&mut driver, &ft, Scheme::Dctcp, &[0], 10_000_000);
+    driver.run(&mut sim, SimTime::from_secs(5), |_, _, _| {});
+    let rec = driver.record(conn).expect("record of the DCTCP flow");
+    assert!(
+        rec.completed.is_some(),
+        "flow did not complete after the blackhole window"
+    );
+    assert!(rec.rtos >= 1, "no RTO despite a 300 ms blackhole");
+    let l = sim.link(ft.core_link(0, 0, 0));
+    assert!(
+        l.dirs[0].stats.blackholed + l.dirs[1].stats.blackholed > 0,
+        "nothing was blackholed on the dead link"
+    );
+    let audit = sim.audit_conservation();
+    assert_eq!(audit.in_network, 0, "packets still in flight after drain");
+}
+
+#[test]
+fn xmp2_keeps_moving_data_through_a_permanent_core_switch_failure() {
+    let (mut sim, ft) = build_k4(7);
+    // Core switch (0, 0) carries tag 0; it dies 30 ms in and never comes
+    // back. Fresh connection bytes must keep flowing on the tag-3 subflow
+    // (bytes already allocated to the dead subflow stay stranded — its
+    // go-back-N retransmits blackhole until its RTO backs off).
+    sim.install_fault_plan(
+        &FaultPlan::new().switch_down(SimTime::from_millis(30), ft.cores[0]),
+    );
+    let mut driver = Driver::new();
+    let conn = submit(&mut driver, &ft, Scheme::xmp(2), &[0, 3], u64::MAX);
+    let mut sampler = RateSampler::new();
+    driver.run(&mut sim, SimTime::from_secs(1), |_, _, _| {});
+    for x in 0..2 {
+        sampler.sample(&mut sim, &driver, conn, x);
+    }
+    driver.run(&mut sim, SimTime::from_secs(2), |_, _, _| {});
+    let dead_bps = sampler.sample(&mut sim, &driver, conn, 0);
+    let alive_bps = sampler.sample(&mut sim, &driver, conn, 1);
+    assert!(
+        alive_bps > 100e6,
+        "surviving subflow stalled at {alive_bps} bits/s"
+    );
+    assert!(
+        dead_bps < 1e6,
+        "dead subflow still acking {dead_bps} bits/s through a dead switch"
+    );
+    driver.stop_flow(&mut sim, conn);
+    let rec = driver.record(conn).expect("record of the XMP-2 flow");
+    assert!(rec.rtos >= 1, "the dead subflow never timed out");
+    sim.audit_conservation();
+}

@@ -16,14 +16,17 @@ use xmp_workloads::Scheme;
 const BASELINE: SimTuning = SimTuning {
     compiled_fib: false,
     lazy_links: false,
+    drop_unroutable: false,
 };
 const FAST: SimTuning = SimTuning {
     compiled_fib: true,
     lazy_links: true,
+    drop_unroutable: false,
 };
 const LAZY_ONLY: SimTuning = SimTuning {
     compiled_fib: false,
     lazy_links: true,
+    drop_unroutable: false,
 };
 
 fn fig1_digest(seed: u64, tuning: SimTuning) -> String {

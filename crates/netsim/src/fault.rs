@@ -1,0 +1,125 @@
+//! Deterministic fault injection: scheduled topology failures plus seeded
+//! random loss and corruption.
+//!
+//! A [`FaultPlan`] is a per-run description of everything that goes wrong:
+//!
+//! * a **timeline** of [`FaultEvent`]s at absolute sim times — links going
+//!   down and (optionally) back up, whole switches failing,
+//! * per-link Bernoulli **loss** and **corruption** rates, drawn from
+//!   per-direction RNG streams derived from the sim seed so runs stay
+//!   bit-reproducible.
+//!
+//! Plans are installed with [`Sim::install_fault_plan`](crate::Sim::install_fault_plan)
+//! before (or during) a run; the timeline is driven by the DES engine like
+//! any other event, so the same seed plus the same plan replays the same
+//! byte-identical run. An empty plan is free: no RNG stream is consumed and
+//! no event is scheduled, so results match a faultless build bit for bit.
+//!
+//! What a downed link does to traffic — blackholing, FIB invalidation, the
+//! generation-stamped in-flight purge — is documented on
+//! [`Sim::take_link_down`](crate::Sim::take_link_down) and in DESIGN.md §11.
+
+use crate::link::LinkId;
+use crate::node::NodeId;
+use xmp_des::SimTime;
+
+/// One scheduled topology fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Both directions of the link fail: in-flight packets are blackholed
+    /// and all traffic offered while down is dropped (counted).
+    LinkDown(LinkId),
+    /// The link is repaired; routing recovers via FIB recompilation.
+    LinkUp(LinkId),
+    /// Every link attached to the node fails (the node itself keeps its
+    /// state — a repaired switch resumes forwarding after `LinkUp`s).
+    SwitchDown(NodeId),
+}
+
+/// A deterministic per-run schedule of faults. Build with the chainable
+/// constructors, then hand to
+/// [`Sim::install_fault_plan`](crate::Sim::install_fault_plan).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    pub(crate) timeline: Vec<(SimTime, FaultEvent)>,
+    pub(crate) loss: Vec<(LinkId, f64)>,
+    pub(crate) corruption: Vec<(LinkId, f64)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (installing it is a no-op).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedule both directions of `link` to fail at `at`.
+    pub fn link_down(mut self, at: SimTime, link: LinkId) -> Self {
+        self.timeline.push((at, FaultEvent::LinkDown(link)));
+        self
+    }
+
+    /// Schedule `link` to be repaired at `at`.
+    pub fn link_up(mut self, at: SimTime, link: LinkId) -> Self {
+        self.timeline.push((at, FaultEvent::LinkUp(link)));
+        self
+    }
+
+    /// Schedule every link attached to `node` to fail at `at`.
+    pub fn switch_down(mut self, at: SimTime, node: NodeId) -> Self {
+        self.timeline.push((at, FaultEvent::SwitchDown(node)));
+        self
+    }
+
+    /// Bernoulli-drop packets offered to either direction of `link` with
+    /// probability `p` (seeded per direction; equivalent to
+    /// [`LinkParams::with_drop_prob`](crate::LinkParams::with_drop_prob)
+    /// but applied per run instead of at construction).
+    pub fn drop_rate(mut self, link: LinkId, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.loss.push((link, p));
+        self
+    }
+
+    /// Bernoulli-corrupt packets *arriving* over either direction of `link`
+    /// with probability `p`. A corrupted packet is counted
+    /// ([`DirStats::corrupted`](crate::stats::DirStats::corrupted)) and
+    /// discarded at the receiver — the model is a frame failing its
+    /// checksum, so it consumed wire time unlike a fault drop.
+    pub fn corrupt_rate(mut self, link: LinkId, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.corruption.push((link, p));
+        self
+    }
+
+    /// Whether the plan schedules or configures nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.timeline.is_empty() && self.loss.is_empty() && self.corruption.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let p = FaultPlan::new()
+            .link_down(SimTime::from_millis(5), LinkId(3))
+            .link_up(SimTime::from_millis(9), LinkId(3))
+            .switch_down(SimTime::from_millis(7), NodeId(1))
+            .drop_rate(LinkId(0), 0.1)
+            .corrupt_rate(LinkId(2), 0.01);
+        assert!(!p.is_empty());
+        assert_eq!(p.timeline.len(), 3);
+        assert_eq!(p.timeline[0].1, FaultEvent::LinkDown(LinkId(3)));
+        assert_eq!(p.loss, vec![(LinkId(0), 0.1)]);
+        assert_eq!(p.corruption, vec![(LinkId(2), 0.01)]);
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn rejects_bad_probability() {
+        let _ = FaultPlan::new().drop_rate(LinkId(0), 1.5);
+    }
+}

@@ -80,6 +80,27 @@ impl CompiledFib {
     pub fn entry(&self, dst_idx: u32) -> FibEntry {
         self.entries[dst_idx as usize]
     }
+
+    /// Demote every entry that can choose `port` to [`FibEntry::Miss`], so
+    /// affected destinations take the dynamic fallback. Called when the
+    /// link behind `port` fails: the compiled table must stop steering
+    /// traffic at a dead port without a full (and failure-oblivious)
+    /// recompile.
+    pub fn invalidate_port(&mut self, port: PortId) {
+        let groups = &self.groups;
+        for e in &mut self.entries {
+            let hit = match *e {
+                FibEntry::Port(p) => p == port,
+                FibEntry::Hash { off, len, .. } => groups
+                    [off as usize..off as usize + len as usize]
+                    .contains(&port),
+                FibEntry::Miss => false,
+            };
+            if hit {
+                *e = FibEntry::Miss;
+            }
+        }
+    }
 }
 
 /// Incrementally builds a [`CompiledFib`] over `n` destinations.
@@ -255,5 +276,24 @@ mod tests {
         assert_eq!(fib.lookup(1, FlowId(9)), Some(expect));
         // Miss falls through.
         assert_eq!(fib.lookup(2, FlowId(9)), None);
+    }
+
+    #[test]
+    fn invalidate_port_demotes_to_miss() {
+        let mut b = FibBuilder::new(4);
+        b.port(0, PortId(4));
+        b.port(1, PortId(5));
+        let g = b.group(&[PortId(1), PortId(4)]);
+        b.hashed(2, g, 0, 0);
+        let g2 = b.group(&[PortId(2), PortId(3)]);
+        b.hashed(3, g2, 0, 0);
+        let mut fib = b.build();
+        fib.invalidate_port(PortId(4));
+        // Direct port hit and the group containing it both miss now; the
+        // untouched entries keep forwarding.
+        assert_eq!(fib.entry(0), FibEntry::Miss);
+        assert_eq!(fib.entry(1), FibEntry::Port(PortId(5)));
+        assert_eq!(fib.entry(2), FibEntry::Miss);
+        assert!(matches!(fib.entry(3), FibEntry::Hash { .. }));
     }
 }

@@ -13,6 +13,8 @@
 //! * [`link::Link`] — full-duplex links with store-and-forward
 //!   serialization, propagation delay and optional fault injection,
 //! * [`routing::Router`] — pluggable per-switch forwarding,
+//! * [`fault::FaultPlan`] — deterministic fault injection: scheduled
+//!   link/switch failures plus seeded loss and corruption,
 //! * [`network::Sim`] — the event loop tying nodes, links and host
 //!   [`agent::Agent`]s together on top of the `xmp-des` kernel.
 //!
@@ -21,6 +23,7 @@
 
 pub mod addr;
 pub mod agent;
+pub mod fault;
 pub mod fib;
 pub mod hash;
 pub mod link;
@@ -34,9 +37,10 @@ pub mod trace;
 
 pub use addr::Addr;
 pub use agent::{Agent, Ctx};
+pub use fault::{FaultEvent, FaultPlan};
 pub use fib::{AddrIndex, CompiledFib, FibBuilder, FibEntry};
 pub use link::{FaultConfig, LinkId, LinkParams};
-pub use network::{NetEvent, Sim, SimTuning};
+pub use network::{AuditReport, NetEvent, Sim, SimTuning};
 pub use node::{NodeId, PortId};
 pub use packet::{Ecn, FlowId, Packet};
 pub use queue::{DropTail, EcnThreshold, EnqueueOutcome, Qdisc, QdiscConfig, Red, RedMode};

@@ -24,11 +24,16 @@ impl fmt::Debug for LinkId {
     }
 }
 
-/// Random fault injection on a link direction (smoltcp-style `--drop-chance`).
+/// Random fault injection on a link direction (smoltcp-style `--drop-chance`
+/// and `--corrupt-chance`).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FaultConfig {
     /// Probability that an arriving packet is silently dropped.
     pub drop_prob: f64,
+    /// Probability that a packet is corrupted in transit and discarded by
+    /// the receiving end (after spending its full serialization and
+    /// propagation time on the wire).
+    pub corrupt_prob: f64,
 }
 
 /// Parameters for creating a link. Both directions share them.
@@ -76,6 +81,19 @@ pub struct Direction<P> {
     pub stats: DirStats,
     pub(crate) fault: FaultConfig,
     pub(crate) fault_rng: SimRng,
+    /// Separate stream for corruption draws so enabling one fault kind
+    /// never perturbs the other's sequence.
+    pub(crate) corrupt_rng: SimRng,
+    /// The direction is failed: everything offered is blackholed.
+    pub(crate) down: bool,
+    /// Bumped on every `LinkDown`; `TxDone`/`Deliver` events carry the
+    /// generation they were scheduled under, so events belonging to packets
+    /// purged by a failure are recognized as stale.
+    pub(crate) fail_gen: u32,
+    /// Conservation audit: packets accepted by this direction whose
+    /// `Deliver` has not yet been processed (negative would mean a packet
+    /// was double-counted — asserted by `Sim::audit_conservation`).
+    pub(crate) in_network: i64,
     /// Lazy pipeline: when the port frees up. Serialization is FIFO and
     /// non-preemptive, so a packet accepted at `now` starts transmitting at
     /// `busy_until.max(now)` — its departure is fully determined at enqueue.
@@ -90,6 +108,12 @@ impl<P> Direction<P> {
     /// Instantaneous backlog (waiting packets, excluding the one on the wire).
     pub fn backlog(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Whether the direction is currently failed (see
+    /// [`FaultPlan`](crate::fault::FaultPlan)).
+    pub fn is_down(&self) -> bool {
+        self.down
     }
 
     /// Record a queue-length sample for time-weighted averaging.
@@ -132,7 +156,18 @@ impl<P> Direction<P> {
     /// whenever `start <= now`.
     pub(crate) fn lazy_waiting(&self, now: SimTime) -> usize {
         match self.pending.front() {
-            Some(&(start, _)) if start <= now => self.pending.len() - 1,
+            Some(&(start, _)) if start <= now => {
+                // A link teardown clears `pending` wholesale; a stale
+                // started-entry here would make the backlog go negative
+                // (and silently skew ECN marking decisions).
+                debug_assert!(
+                    !self.down,
+                    "lazy backlog consulted on a downed direction"
+                );
+                self.pending.len().checked_sub(1).expect(
+                    "lazy_waiting underflow: started entry on empty pending ring",
+                )
+            }
             _ => self.pending.len(),
         }
     }
@@ -180,6 +215,10 @@ impl<P> Link<P> {
             stats: DirStats::default(),
             fault: params.fault,
             fault_rng: rng.derive((link_index as u64) << 1 | salt),
+            corrupt_rng: rng.derive((1 << 32) | (link_index as u64) << 1 | salt),
+            down: false,
+            fail_gen: 0,
+            in_network: 0,
             busy_until: SimTime::ZERO,
             pending: VecDeque::new(),
         };

@@ -17,6 +17,7 @@
 
 use crate::addr::Addr;
 use crate::agent::{Agent, Ctx, Emit};
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::fib::{AddrIndex, CompiledFib};
 use crate::hash::FxHashMap;
 use crate::link::{Link, LinkId, LinkParams};
@@ -48,6 +49,12 @@ pub struct SimTuning {
     /// serialization time (true for every in-tree topology) and is pinned
     /// empirically by multi-seed differential tests; off by default.
     pub lazy_links: bool,
+    /// Graceful no-route mode: instead of panicking when a switch has no
+    /// route for a packet (the default, which treats an unroutable
+    /// destination as a topology bug), count the packet as a
+    /// [`TraceKind::NoRoute`] drop and continue — the right behaviour when
+    /// fault injection partitions the network. Off by default.
+    pub drop_unroutable: bool,
 }
 
 impl Default for SimTuning {
@@ -55,6 +62,7 @@ impl Default for SimTuning {
         SimTuning {
             compiled_fib: true,
             lazy_links: false,
+            drop_unroutable: false,
         }
     }
 }
@@ -68,6 +76,9 @@ pub enum NetEvent<P> {
         link: LinkId,
         /// Direction index (0 = a→b, 1 = b→a).
         dir: u8,
+        /// The direction's failure generation at scheduling time; stale
+        /// events (the link failed in between) are ignored.
+        gen: u32,
     },
     /// A packet reached the far end of `link` direction `dir`.
     Deliver {
@@ -75,6 +86,9 @@ pub enum NetEvent<P> {
         link: LinkId,
         /// Direction index.
         dir: u8,
+        /// Failure generation at scheduling time; a stale delivery means
+        /// the packet was blackholed by a link failure mid-flight.
+        gen: u32,
         /// The packet.
         pkt: Packet<P>,
     },
@@ -86,6 +100,12 @@ pub enum NetEvent<P> {
         token: u64,
         /// Generation at scheduling time.
         gen: u64,
+    },
+    /// A scheduled [`FaultEvent`] from the installed
+    /// [`FaultPlan`](crate::fault::FaultPlan) (index into the timeline).
+    Fault {
+        /// Index into the sim's installed fault timeline.
+        idx: u32,
     },
 }
 
@@ -109,6 +129,12 @@ fn timer_key(node: NodeId) -> u64 {
 }
 fn tx_done_key(link: LinkId, dir: u8) -> u64 {
     (2 << 62) | ((link.0 as u64) << 1) | dir as u64
+}
+/// Faults rank after every packet/timer event at the same instant: traffic
+/// scheduled "at t" still experiences the pre-fault topology at t, which
+/// keeps the cut-over point identical across eager and lazy pipelines.
+fn fault_key(idx: u32) -> u64 {
+    (3 << 62) | idx as u64
 }
 
 /// The whole simulation.
@@ -140,6 +166,32 @@ pub struct Sim<P: Payload> {
     fibs: Vec<Option<CompiledFib>>,
     /// Cleared whenever topology or tuning changes; `run_until` rebuilds.
     fibs_ready: bool,
+    /// Installed fault timeline; engine `Fault` events index into it.
+    fault_timeline: Vec<FaultEvent>,
+    /// Packets dropped for lack of a route (`drop_unroutable` mode).
+    unroutable: u64,
+    /// Conservation audit: packets injected by host agents (`Emit::Send`).
+    audit_injected: u64,
+    /// Conservation audit: packets handed to a destination host agent.
+    audit_delivered: u64,
+    /// Conservation audit: packets dropped anywhere, for any counted
+    /// reason (qdisc, fault, corruption, blackhole, no-route).
+    audit_dropped: u64,
+}
+
+/// Packet-conservation snapshot from [`Sim::audit_conservation`]: every
+/// injected packet must be delivered, dropped with a counted reason, or
+/// still sitting in the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Packets injected by host agents.
+    pub injected: u64,
+    /// Packets handed to destination host agents.
+    pub delivered: u64,
+    /// Packets dropped, all reasons combined.
+    pub dropped: u64,
+    /// Packets accepted by some link direction and not yet delivered.
+    pub in_network: u64,
 }
 
 impl<P: Payload> Sim<P> {
@@ -161,6 +213,11 @@ impl<P: Payload> Sim<P> {
             addr_index: None,
             fibs: Vec::new(),
             fibs_ready: false,
+            fault_timeline: Vec::new(),
+            unroutable: 0,
+            audit_injected: 0,
+            audit_delivered: 0,
+            audit_dropped: 0,
         }
     }
 
@@ -319,6 +376,175 @@ impl<P: Payload> Sim<P> {
         }
     }
 
+    /// Install a [`FaultPlan`]: apply its per-link loss/corruption rates
+    /// and schedule its timeline on the engine. May be called before or
+    /// during a run (events must not be in the past); installing several
+    /// plans accumulates. An empty plan changes nothing — no RNG stream is
+    /// touched and no event is scheduled, so results stay bit-identical to
+    /// a run without fault machinery.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        let now = self.engine.now();
+        for &(link, p) in &plan.loss {
+            self.set_link_drop_prob(link, p);
+        }
+        for &(link, p) in &plan.corruption {
+            assert!((0.0..=1.0).contains(&p), "probability out of range");
+            for d in &mut self.links[link.0 as usize].dirs {
+                d.fault.corrupt_prob = p;
+            }
+        }
+        for &(at, ev) in &plan.timeline {
+            assert!(at >= now, "fault event {ev:?} scheduled in the past");
+            let idx = u32::try_from(self.fault_timeline.len()).expect("fault timeline overflow");
+            self.fault_timeline.push(ev);
+            self.engine
+                .schedule_keyed(at, fault_key(idx), NetEvent::Fault { idx });
+        }
+    }
+
+    /// Fail both directions of `link` immediately.
+    ///
+    /// Queued and serializing packets are purged and counted as
+    /// [`DirStats::blackholed`](crate::stats::DirStats::blackholed);
+    /// packets already propagating die on arrival via the direction's
+    /// failure generation (their `Deliver` events are recognized as
+    /// stale). While down, everything offered to the link is blackholed
+    /// (counted, no RNG consumed). Compiled FIB entries steering at either
+    /// endpoint's dead port are demoted to `Miss` so forwarding falls back
+    /// to the dynamic router — which still picks the dead port unless the
+    /// topology's router is failure-aware, modelling a fabric whose
+    /// routing hasn't reconverged; multipath transports are expected to
+    /// shift load to surviving subflows instead (the failover experiment).
+    pub fn take_link_down(&mut self, link: LinkId) {
+        let now = self.engine.now();
+        let lazy = self.tuning.lazy_links;
+        let l = &mut self.links[link.0 as usize];
+        let label = l.label.clone();
+        let ends = [
+            (l.dirs[0].to_node, l.dirs[0].to_port),
+            (l.dirs[1].to_node, l.dirs[1].to_port),
+        ];
+        for dir in 0..2u8 {
+            let d = l.dir_mut(dir);
+            if d.down {
+                continue;
+            }
+            d.down = true;
+            d.fail_gen = d.fail_gen.wrapping_add(1);
+            if lazy {
+                // Every accepted packet already has a (now stale) Deliver
+                // scheduled; it is counted blackholed on arrival. Replay
+                // the departures that genuinely happened, then drop the
+                // booking state so the backlog reads zero, mirroring the
+                // eager drain below sample for sample.
+                d.lazy_advance(now);
+                d.pending.clear();
+                d.busy_until = SimTime::ZERO;
+                d.stats.observe_backlog(now, 0);
+                debug_assert_eq!(
+                    d.lazy_waiting(now),
+                    0,
+                    "lazy backlog nonzero after tearing down {label}/{dir}"
+                );
+            } else {
+                // Queued and serializing packets have no Deliver event yet:
+                // purge and count them here. The serializing packet's
+                // TxDone arrives stale and is ignored.
+                while let Some(p) = d.queue.dequeue() {
+                    d.stats.blackholed += 1;
+                    d.in_network -= 1;
+                    self.audit_dropped += 1;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.record(TraceEvent {
+                            at: now,
+                            link,
+                            dir,
+                            kind: TraceKind::LinkDownDrop,
+                            flow: p.flow,
+                            size: p.size.as_bytes(),
+                            backlog: d.queue.len(),
+                        });
+                    }
+                }
+                if let Some(p) = d.in_flight.take() {
+                    d.stats.blackholed += 1;
+                    d.in_network -= 1;
+                    self.audit_dropped += 1;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.record(TraceEvent {
+                            at: now,
+                            link,
+                            dir,
+                            kind: TraceKind::LinkDownDrop,
+                            flow: p.flow,
+                            size: p.size.as_bytes(),
+                            backlog: 0,
+                        });
+                    }
+                }
+                d.sample_backlog(now);
+            }
+        }
+        // Stop compiled tables from steering at the dead ports. The
+        // dynamic fallback stays authoritative for affected destinations
+        // until repair recompiles.
+        if self.fibs_ready {
+            for (node, port) in ends {
+                if let Some(Some(fib)) = self.fibs.get_mut(node.0 as usize) {
+                    fib.invalidate_port(port);
+                }
+            }
+        }
+    }
+
+    /// Repair both directions of `link`. In-flight state was already
+    /// purged at failure; recompiling the FIBs (the PR 2 invalidation
+    /// path — cleared here, rebuilt at the next `run_until`) restores
+    /// compiled forwarding over the link.
+    pub fn bring_link_up(&mut self, link: LinkId) {
+        for d in &mut self.links[link.0 as usize].dirs {
+            d.down = false;
+        }
+        self.fibs_ready = false;
+    }
+
+    /// Packets dropped for lack of a route (only under
+    /// [`SimTuning::drop_unroutable`]).
+    pub fn unroutable_drops(&self) -> u64 {
+        self.unroutable
+    }
+
+    /// Check packet conservation: every packet injected by a host agent
+    /// was delivered to a host, dropped with a counted reason, or is still
+    /// sitting in some link direction. Panics (in all build profiles) if
+    /// the books don't balance; returns the totals.
+    pub fn audit_conservation(&self) -> AuditReport {
+        let mut in_network = 0i64;
+        for l in &self.links {
+            for d in &l.dirs {
+                assert!(
+                    d.in_network >= 0,
+                    "negative in-network count {} on {}",
+                    d.in_network,
+                    l.label
+                );
+                in_network += d.in_network;
+            }
+        }
+        let report = AuditReport {
+            injected: self.audit_injected,
+            delivered: self.audit_delivered,
+            dropped: self.audit_dropped,
+            in_network: in_network as u64,
+        };
+        assert_eq!(
+            report.injected,
+            report.delivered + report.dropped + report.in_network,
+            "packet conservation violated: {report:?}"
+        );
+        report
+    }
+
     /// Run the concrete agent on `node` with driver code.
     ///
     /// # Panics
@@ -451,18 +677,46 @@ impl<P: Payload> Sim<P> {
 
     fn handle(&mut self, ev: NetEvent<P>) {
         match ev {
-            NetEvent::TxDone { link, dir } => self.on_tx_done(link, dir),
-            NetEvent::Deliver { link, dir, pkt } => self.on_deliver(link, dir, pkt),
+            NetEvent::TxDone { link, dir, gen } => self.on_tx_done(link, dir, gen),
+            NetEvent::Deliver {
+                link,
+                dir,
+                gen,
+                pkt,
+            } => self.on_deliver(link, dir, gen, pkt),
             NetEvent::Timer { node, token, gen } => self.on_timer(node, token, gen),
+            NetEvent::Fault { idx } => self.on_fault(idx),
         }
     }
 
-    fn on_tx_done(&mut self, link: LinkId, dir: u8) {
+    fn on_fault(&mut self, idx: u32) {
+        match self.fault_timeline[idx as usize] {
+            FaultEvent::LinkDown(l) => self.take_link_down(l),
+            FaultEvent::LinkUp(l) => self.bring_link_up(l),
+            FaultEvent::SwitchDown(n) => {
+                let links: Vec<LinkId> = self.nodes[n.0 as usize]
+                    .ports
+                    .iter()
+                    .map(|&(l, _)| l)
+                    .collect();
+                for l in links {
+                    self.take_link_down(l);
+                }
+            }
+        }
+    }
+
+    fn on_tx_done(&mut self, link: LinkId, dir: u8, gen: u32) {
         let now = self.engine.now();
         let l = &mut self.links[link.0 as usize];
         let delay = l.delay;
         let bandwidth = l.bandwidth;
         let d = l.dir_mut(dir);
+        if gen != d.fail_gen {
+            // The link failed since this was scheduled; the serializing
+            // packet was already purged and counted by `take_link_down`.
+            return;
+        }
         let pkt = d
             .in_flight
             .take()
@@ -470,7 +724,12 @@ impl<P: Payload> Sim<P> {
         self.engine.schedule_keyed(
             now + delay,
             deliver_key(link, dir),
-            NetEvent::Deliver { link, dir, pkt },
+            NetEvent::Deliver {
+                link,
+                dir,
+                gen,
+                pkt,
+            },
         );
         if let Some(next) = d.queue.dequeue() {
             let tx = bandwidth.transmission_time(next.size);
@@ -478,17 +737,58 @@ impl<P: Payload> Sim<P> {
             self.engine.schedule_keyed(
                 now + tx,
                 tx_done_key(link, dir),
-                NetEvent::TxDone { link, dir },
+                NetEvent::TxDone { link, dir, gen },
             );
         }
         d.sample_backlog(now);
     }
 
-    fn on_deliver(&mut self, link: LinkId, dir: u8, pkt: Packet<P>) {
+    fn on_deliver(&mut self, link: LinkId, dir: u8, gen: u32, pkt: Packet<P>) {
         let now = self.engine.now();
         let lazy = self.tuning.lazy_links;
         let l = &mut self.links[link.0 as usize];
         let d = l.dir_mut(dir);
+        d.in_network -= 1;
+        if gen != d.fail_gen {
+            // The link failed while this packet was in the pipeline.
+            d.stats.blackholed += 1;
+            self.audit_dropped += 1;
+            if let Some(t) = self.trace.as_mut() {
+                t.record(TraceEvent {
+                    at: now,
+                    link,
+                    dir,
+                    kind: TraceKind::LinkDownDrop,
+                    flow: pkt.flow,
+                    size: pkt.size.as_bytes(),
+                    backlog: 0,
+                });
+            }
+            return;
+        }
+        if d.fault.corrupt_prob > 0.0 && d.corrupt_rng.chance(d.fault.corrupt_prob) {
+            // The frame failed its checksum at the receiver: it consumed
+            // its full wire time (unlike a fault drop) but is discarded.
+            // Drawn per *delivery* — the order packets leave a direction
+            // is FIFO in both pipelines, so the stream stays aligned.
+            d.stats.corrupted += 1;
+            self.audit_dropped += 1;
+            if lazy {
+                d.lazy_advance(now);
+            }
+            if let Some(t) = self.trace.as_mut() {
+                t.record(TraceEvent {
+                    at: now,
+                    link,
+                    dir,
+                    kind: TraceKind::Corrupt,
+                    flow: pkt.flow,
+                    size: pkt.size.as_bytes(),
+                    backlog: 0,
+                });
+            }
+            return;
+        }
         d.stats.delivered += 1;
         d.stats.delivered_bytes += pkt.size;
         if let Some(t) = self.trace.as_mut() {
@@ -522,26 +822,57 @@ impl<P: Payload> Sim<P> {
                 } else {
                     None
                 };
-                let out_port = match (compiled, &self.addr_index) {
-                    (Some(fib), Some(ai)) => ai
-                        .lookup(pkt.dst)
-                        .and_then(|di| fib.lookup(di, pkt.flow))
-                        .unwrap_or_else(|| router.route(pkt.dst, pkt.flow, to_port)),
-                    _ => router.route(pkt.dst, pkt.flow, to_port),
+                let compiled_port = match (compiled, &self.addr_index) {
+                    (Some(fib), Some(ai)) => {
+                        ai.lookup(pkt.dst).and_then(|di| fib.lookup(di, pkt.flow))
+                    }
+                    _ => None,
+                };
+                let out_port = match compiled_port {
+                    Some(p) => Some(p),
+                    // Graceful mode asks the router politely; the default
+                    // keeps the historical "no route" panic.
+                    None if self.tuning.drop_unroutable => {
+                        router.try_route(pkt.dst, pkt.flow, to_port)
+                    }
+                    None => Some(router.route(pkt.dst, pkt.flow, to_port)),
                 };
                 let ports = &self.nodes[to_node.0 as usize].ports;
-                let &(out_link, out_dir) = ports
-                    .get(out_port.0 as usize)
-                    .unwrap_or_else(|| panic!("router chose missing port {out_port:?}"));
-                assert!(
-                    !(out_link == link && out_dir == dir ^ 1) || ports.len() == 1,
-                    "switch {} bounced {:?} back out its ingress",
-                    self.nodes[to_node.0 as usize].label,
-                    pkt.flow
-                );
-                self.enqueue_on(out_link, out_dir, pkt);
+                let hop = out_port.map(|op| (op, ports.get(op.0 as usize).copied()));
+                match hop {
+                    Some((_, Some((out_link, out_dir)))) => {
+                        assert!(
+                            !(out_link == link && out_dir == dir ^ 1) || ports.len() == 1,
+                            "switch {} bounced {:?} back out its ingress",
+                            self.nodes[to_node.0 as usize].label,
+                            pkt.flow
+                        );
+                        self.enqueue_on(out_link, out_dir, pkt);
+                    }
+                    Some((op, None)) if !self.tuning.drop_unroutable => {
+                        panic!("router chose missing port {op:?}")
+                    }
+                    _ => {
+                        // No usable route: count and drop instead of
+                        // panicking (`SimTuning::drop_unroutable`).
+                        self.unroutable += 1;
+                        self.audit_dropped += 1;
+                        if let Some(t) = self.trace.as_mut() {
+                            t.record(TraceEvent {
+                                at: now,
+                                link,
+                                dir,
+                                kind: TraceKind::NoRoute,
+                                flow: pkt.flow,
+                                size: pkt.size.as_bytes(),
+                                backlog: 0,
+                            });
+                        }
+                    }
+                }
             }
             NodeKind::Host => {
+                self.audit_delivered += 1;
                 self.dispatch_packet(to_node, pkt, to_port);
             }
         }
@@ -589,6 +920,7 @@ impl<P: Payload> Sim<P> {
                         .ports
                         .get(port.0 as usize)
                         .unwrap_or_else(|| panic!("{node:?} has no port {port:?}"));
+                    self.audit_injected += 1;
                     self.enqueue_on(link, dir, pkt);
                 }
                 Emit::SetTimer { token, at } => {
@@ -617,11 +949,30 @@ impl<P: Payload> Sim<P> {
         let bandwidth = l.bandwidth;
         let delay = l.delay;
         let d = l.dir_mut(dir);
+        if d.down {
+            // Failed link: blackhole without consuming any RNG stream, so
+            // a failure window never perturbs draws made after repair.
+            d.stats.blackholed += 1;
+            self.audit_dropped += 1;
+            if let Some(t) = self.trace.as_mut() {
+                t.record(TraceEvent {
+                    at: now,
+                    link,
+                    dir,
+                    kind: TraceKind::LinkDownDrop,
+                    flow: pkt.flow,
+                    size: pkt.size.as_bytes(),
+                    backlog: 0,
+                });
+            }
+            return;
+        }
         if lazy {
             d.lazy_advance(now);
         }
         if d.fault.drop_prob > 0.0 && d.fault_rng.chance(d.fault.drop_prob) {
             d.stats.fault_dropped += 1;
+            self.audit_dropped += 1;
             if let Some(t) = self.trace.as_mut() {
                 t.record(TraceEvent {
                     at: now,
@@ -646,6 +997,7 @@ impl<P: Payload> Sim<P> {
             let outcome = d.queue.classify(waiting, &mut pkt);
             if outcome == EnqueueOutcome::Dropped {
                 d.stats.dropped += 1;
+                self.audit_dropped += 1;
                 if let Some(t) = self.trace.as_mut() {
                     t.record(TraceEvent {
                         at: now,
@@ -660,6 +1012,7 @@ impl<P: Payload> Sim<P> {
                 return;
             }
             d.stats.enqueued += 1;
+            d.in_network += 1;
             if outcome == EnqueueOutcome::EnqueuedMarked {
                 d.stats.marked += 1;
             }
@@ -686,7 +1039,12 @@ impl<P: Payload> Sim<P> {
             self.engine.schedule_keyed(
                 depart + delay,
                 deliver_key(link, dir),
-                NetEvent::Deliver { link, dir, pkt },
+                NetEvent::Deliver {
+                    link,
+                    dir,
+                    gen: d.fail_gen,
+                    pkt,
+                },
             );
             return;
         }
@@ -694,6 +1052,7 @@ impl<P: Payload> Sim<P> {
         match d.queue.enqueue(pkt) {
             EnqueueOutcome::Dropped => {
                 d.stats.dropped += 1;
+                self.audit_dropped += 1;
                 if let Some(t) = self.trace.as_mut() {
                     t.record(TraceEvent {
                         at: now,
@@ -708,6 +1067,7 @@ impl<P: Payload> Sim<P> {
             }
             outcome => {
                 d.stats.enqueued += 1;
+                d.in_network += 1;
                 if outcome == EnqueueOutcome::EnqueuedMarked {
                     d.stats.marked += 1;
                 }
@@ -733,7 +1093,11 @@ impl<P: Payload> Sim<P> {
                     self.engine.schedule_keyed(
                         now + tx,
                         tx_done_key(link, dir),
-                        NetEvent::TxDone { link, dir },
+                        NetEvent::TxDone {
+                            link,
+                            dir,
+                            gen: d.fail_gen,
+                        },
                     );
                 }
                 d.sample_backlog(now);
@@ -1077,6 +1441,7 @@ mod tests {
     const LAZY: SimTuning = SimTuning {
         compiled_fib: true,
         lazy_links: true,
+        drop_unroutable: false,
     };
 
     #[test]
@@ -1274,6 +1639,7 @@ mod tests {
             sim.set_tuning(SimTuning {
                 compiled_fib: compiled,
                 lazy_links: false,
+                drop_unroutable: false,
             });
             let h1 = sim.add_host("h1", Box::new(Probe::default()));
             let h2 = sim.add_host("h2", Box::new(Probe::default()));
@@ -1318,5 +1684,181 @@ mod tests {
                 sim.route_dynamic(sw, unbound, FlowId(f), PortId(0))
             );
         }
+    }
+
+    /// Link failure mid-burst: both pipelines blackhole the same packets,
+    /// repair restores delivery, and the conservation books balance.
+    #[test]
+    fn link_down_blackholes_identically_in_both_pipelines() {
+        fn run(tuning: SimTuning) -> (Vec<(u64, u64)>, u64, u64, AuditReport) {
+            let mut sim: Sim<u64> = Sim::new(1);
+            sim.set_tuning(tuning);
+            let a = sim.add_host("a", Box::new(Probe::default()));
+            let b = sim.add_host("b", Box::new(Probe::default()));
+            let l = sim.connect(
+                a,
+                b,
+                &LinkParams::new(
+                    Bandwidth::from_mbps(1), // 12 ms per 1500B packet
+                    SimDuration::from_micros(1),
+                    QdiscConfig::DropTail { cap: 100 },
+                ),
+                "frail",
+            );
+            sim.install_fault_plan(
+                &FaultPlan::new()
+                    .link_down(SimTime::from_millis(30), l)
+                    .link_up(SimTime::from_millis(60), l),
+            );
+            let (sa, da) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+            sim.with_agent::<Probe, _>(a, |_, ctx| {
+                for i in 0..10 {
+                    ctx.send(PortId(0), pkt(sa, da, i));
+                }
+            });
+            sim.run_until_quiet(SimTime::from_millis(50));
+            // While down: offered traffic blackholes at the port.
+            sim.with_agent::<Probe, _>(a, |_, ctx| {
+                ctx.send(PortId(0), pkt(sa, da, 100));
+            });
+            sim.run_until_quiet(SimTime::from_millis(59));
+            assert!(sim.link(l).dir(0).is_down());
+            // After repair: traffic flows again.
+            sim.run_until_quiet(SimTime::from_millis(61));
+            assert!(!sim.link(l).dir(0).is_down());
+            sim.advance_to(SimTime::from_millis(61));
+            sim.with_agent::<Probe, _>(a, |_, ctx| {
+                for i in 0..3 {
+                    ctx.send(PortId(0), pkt(sa, da, 200 + i));
+                }
+            });
+            sim.run_until_quiet(SimTime::from_millis(200));
+            let s = sim.link(l).dir(0).stats.clone();
+            let received = sim.with_agent::<Probe, _>(b, |p, _| p.received.clone());
+            (received, s.blackholed, s.delivered, sim.audit_conservation())
+        }
+        let eager = run(SimTuning::default());
+        let lazy = run(LAZY);
+        assert_eq!(eager, lazy, "pipelines diverged under link failure");
+        let (received, blackholed, delivered, audit) = eager;
+        // 2 of the burst arrive (12 ms apart) before the 30 ms failure; the
+        // other 8 die in the pipeline, plus the one offered while down.
+        assert_eq!(delivered, 5);
+        assert_eq!(blackholed, 9);
+        assert_eq!(received.len(), 5);
+        assert_eq!(
+            received.iter().map(|&(_, p)| p).collect::<Vec<_>>(),
+            vec![0, 1, 200, 201, 202]
+        );
+        assert_eq!(
+            audit,
+            AuditReport {
+                injected: 14,
+                delivered: 5,
+                dropped: 9,
+                in_network: 0
+            }
+        );
+    }
+
+    /// A scheduled switch failure takes down every attached link.
+    #[test]
+    fn switch_down_kills_all_attached_links() {
+        let mut sim: Sim<u64> = Sim::new(1);
+        let h1 = sim.add_host("h1", Box::new(Probe::default()));
+        let h2 = sim.add_host("h2", Box::new(Probe::default()));
+        let sw = sim.add_switch("sw", Box::new(StaticRouter::new()));
+        let l1 = sim.connect(h1, sw, &params_1g(), "h1-sw");
+        let l2 = sim.connect(h2, sw, &params_1g(), "h2-sw");
+        let (a1, a2) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+        sim.bind_addr(a1, h1);
+        sim.bind_addr(a2, h2);
+        sim.set_router(
+            sw,
+            Box::new(StaticRouter::new().to(a1, PortId(0)).to(a2, PortId(1))),
+        );
+        sim.install_fault_plan(&FaultPlan::new().switch_down(SimTime::from_micros(5), sw));
+        sim.with_agent::<Probe, _>(h1, |_, ctx| ctx.send(PortId(0), pkt(a1, a2, 5)));
+        sim.run_until_quiet(SimTime::from_millis(1));
+        assert!(sim.link(l1).dir(0).is_down());
+        assert!(sim.link(l2).dir(0).is_down());
+        sim.with_agent::<Probe, _>(h2, |p, _| assert!(p.received.is_empty()));
+        let audit = sim.audit_conservation();
+        assert_eq!(audit.delivered, 0);
+        assert_eq!(audit.dropped, 1);
+    }
+
+    /// Seeded corruption discards at roughly the configured rate, in both
+    /// pipelines identically, and the books still balance.
+    #[test]
+    fn corruption_discards_at_rate_and_conserves() {
+        fn run(tuning: SimTuning) -> (u64, u64, AuditReport) {
+            let mut sim: Sim<u64> = Sim::new(7);
+            sim.set_tuning(tuning);
+            let a = sim.add_host("a", Box::new(Probe::default()));
+            let b = sim.add_host("b", Box::new(Probe::default()));
+            let l = sim.connect(a, b, &params_1g(), "noisy");
+            sim.install_fault_plan(&FaultPlan::new().corrupt_rate(l, 0.5));
+            let (sa, da) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+            for burst in 0..10 {
+                sim.with_agent::<Probe, _>(a, |_, ctx| {
+                    for i in 0..100 {
+                        ctx.send(PortId(0), pkt(sa, da, burst * 100 + i));
+                    }
+                });
+                sim.run_until_quiet(SimTime::from_millis(10 * (burst + 1)));
+            }
+            let s = &sim.link(l).dir(0).stats;
+            (s.corrupted, s.delivered, sim.audit_conservation())
+        }
+        let eager = run(SimTuning::default());
+        let lazy = run(LAZY);
+        assert_eq!(eager, lazy, "pipelines diverged under corruption");
+        let (corrupted, delivered, audit) = eager;
+        assert_eq!(corrupted + delivered, 1000);
+        assert!(
+            (300..700).contains(&corrupted),
+            "corruption count {corrupted} far from 50%"
+        );
+        assert_eq!(audit.injected, 1000);
+        assert_eq!(audit.delivered, delivered);
+        assert_eq!(audit.dropped, corrupted);
+    }
+
+    /// `drop_unroutable` turns the "no route" panic into a counted drop on
+    /// a partitioned topology (no-route destination behind a live switch).
+    #[test]
+    fn drop_unroutable_degrades_instead_of_panicking() {
+        let mut sim: Sim<u64> = Sim::new(1);
+        sim.set_tuning(SimTuning {
+            drop_unroutable: true,
+            ..SimTuning::default()
+        });
+        let h1 = sim.add_host("h1", Box::new(Probe::default()));
+        let h2 = sim.add_host("h2", Box::new(Probe::default()));
+        let sw = sim.add_switch("sw", Box::new(StaticRouter::new()));
+        sim.connect(h1, sw, &params_1g(), "h1-sw");
+        sim.connect(h2, sw, &params_1g(), "h2-sw");
+        let (a1, a2) = (Addr::new(10, 0, 0, 1), Addr::new(10, 0, 0, 2));
+        sim.bind_addr(a1, h1);
+        sim.bind_addr(a2, h2);
+        // The switch only knows how to reach h1: h2 is partitioned off.
+        sim.set_router(sw, Box::new(StaticRouter::new().to(a1, PortId(0))));
+        sim.enable_trace(16);
+        sim.with_agent::<Probe, _>(h1, |_, ctx| {
+            for i in 0..4 {
+                ctx.send(PortId(0), pkt(a1, a2, i));
+            }
+            // An address bound nowhere takes the same graceful path.
+            ctx.send(PortId(0), pkt(a1, Addr::new(9, 9, 9, 9), 99));
+        });
+        sim.run_until_quiet(SimTime::from_millis(1));
+        assert_eq!(sim.unroutable_drops(), 5);
+        assert_eq!(sim.trace().expect("enabled").count(TraceKind::NoRoute), 5);
+        sim.with_agent::<Probe, _>(h2, |p, _| assert!(p.received.is_empty()));
+        let audit = sim.audit_conservation();
+        assert_eq!(audit.injected, 5);
+        assert_eq!(audit.dropped, 5);
+        assert_eq!(audit.in_network, 0);
     }
 }

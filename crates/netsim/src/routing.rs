@@ -24,8 +24,17 @@ use crate::packet::FlowId;
 /// Forwarding decision logic for one switch.
 pub trait Router: Send {
     /// Choose the output port for a packet to `dst` belonging to `flow`,
-    /// arriving on `in_port`.
+    /// arriving on `in_port`. Panics when the destination is unroutable.
     fn route(&self, dst: Addr, flow: FlowId, in_port: PortId) -> PortId;
+
+    /// Like [`Router::route`] but returns `None` instead of panicking when
+    /// no route exists — the forwarding path uses this under
+    /// [`SimTuning::drop_unroutable`](crate::SimTuning::drop_unroutable) so
+    /// partitioned topologies degrade into counted drops. The default
+    /// delegates to `route()` (total routers never return `None`).
+    fn try_route(&self, dst: Addr, flow: FlowId, in_port: PortId) -> Option<PortId> {
+        Some(self.route(dst, flow, in_port))
+    }
 
     /// One-time table finalization, called by the sim when the router is
     /// installed (after which `add`-style mutation is no longer possible).
@@ -146,10 +155,13 @@ impl Default for StaticRouter {
 }
 
 impl Router for StaticRouter {
-    fn route(&self, dst: Addr, _flow: FlowId, _in_port: PortId) -> PortId {
-        find_match(&self.entries, self.sorted, dst)
-            .map(|i| self.entries[i].1)
+    fn route(&self, dst: Addr, flow: FlowId, in_port: PortId) -> PortId {
+        self.try_route(dst, flow, in_port)
             .unwrap_or_else(|| panic!("no route to {dst}"))
+    }
+
+    fn try_route(&self, dst: Addr, _flow: FlowId, _in_port: PortId) -> Option<PortId> {
+        find_match(&self.entries, self.sorted, dst).map(|i| self.entries[i].1)
     }
 
     fn prepare(&mut self) {
@@ -217,12 +229,15 @@ fn dst_salt(dst: Addr) -> u64 {
 }
 
 impl Router for EcmpRouter {
-    fn route(&self, dst: Addr, flow: FlowId, _in_port: PortId) -> PortId {
-        let group = find_match(&self.entries, self.sorted, dst)
-            .map(|i| &self.entries[i].1)
-            .unwrap_or_else(|| panic!("no ECMP route to {dst}"));
+    fn route(&self, dst: Addr, flow: FlowId, in_port: PortId) -> PortId {
+        self.try_route(dst, flow, in_port)
+            .unwrap_or_else(|| panic!("no ECMP route to {dst}"))
+    }
+
+    fn try_route(&self, dst: Addr, flow: FlowId, _in_port: PortId) -> Option<PortId> {
+        let group = find_match(&self.entries, self.sorted, dst).map(|i| &self.entries[i].1)?;
         let h = mix64(flow.0 ^ dst_salt(dst));
-        group[(h % group.len() as u64) as usize]
+        Some(group[(h % group.len() as u64) as usize])
     }
 
     fn prepare(&mut self) {
@@ -285,6 +300,17 @@ mod tests {
     #[should_panic(expected = "no route")]
     fn static_missing_route_panics() {
         StaticRouter::new().route(Addr::new(1, 1, 1, 1), FlowId(0), PortId(0));
+    }
+
+    #[test]
+    fn try_route_is_total_where_route_is() {
+        let dst = Addr::new(10, 1, 2, 3);
+        let r = StaticRouter::new().to(dst, PortId(2));
+        assert_eq!(r.try_route(dst, FlowId(0), PortId(0)), Some(PortId(2)));
+        assert_eq!(r.try_route(Addr::new(9, 9, 9, 9), FlowId(0), PortId(0)), None);
+        let e = EcmpRouter::new().add(AddrPattern::exact(dst), vec![PortId(4)]);
+        assert_eq!(e.try_route(dst, FlowId(0), PortId(0)), Some(PortId(4)));
+        assert_eq!(e.try_route(Addr::new(9, 9, 9, 9), FlowId(0), PortId(0)), None);
     }
 
     #[test]

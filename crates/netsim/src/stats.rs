@@ -22,6 +22,11 @@ pub struct DirStats {
     pub dropped: u64,
     /// Packets dropped by fault injection.
     pub fault_dropped: u64,
+    /// Packets corrupted in transit and discarded by the receiving end.
+    pub corrupted: u64,
+    /// Packets blackholed by a link failure: offered while the direction
+    /// was down, or purged mid-flight when it went down.
+    pub blackholed: u64,
     /// Packets fully delivered to the far end.
     pub delivered: u64,
     /// Bytes fully delivered to the far end.

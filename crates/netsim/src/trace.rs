@@ -25,7 +25,18 @@ pub enum TraceKind {
     FaultDrop,
     /// Delivered to the far end.
     Deliver,
+    /// Corrupted in transit, discarded by the receiving end.
+    Corrupt,
+    /// Blackholed by a failed link (offered while down, or purged in
+    /// flight by the failure).
+    LinkDownDrop,
+    /// No route to the destination under
+    /// [`SimTuning::drop_unroutable`](crate::SimTuning::drop_unroutable).
+    NoRoute,
 }
+
+/// Number of [`TraceKind`] variants (per-kind counter array size).
+pub(crate) const TRACE_KINDS: usize = 8;
 
 impl TraceKind {
     /// Dense index for per-kind counters.
@@ -36,6 +47,9 @@ impl TraceKind {
             TraceKind::Drop => 2,
             TraceKind::FaultDrop => 3,
             TraceKind::Deliver => 4,
+            TraceKind::Corrupt => 5,
+            TraceKind::LinkDownDrop => 6,
+            TraceKind::NoRoute => 7,
         }
     }
 
@@ -46,6 +60,9 @@ impl TraceKind {
             TraceKind::Drop => "X",
             TraceKind::FaultDrop => "F",
             TraceKind::Deliver => ">",
+            TraceKind::Corrupt => "C",
+            TraceKind::LinkDownDrop => "!",
+            TraceKind::NoRoute => "?",
         }
     }
 }
@@ -93,7 +110,7 @@ pub struct TraceBuffer {
     recorded: u64,
     /// Cumulative post-filter counts per [`TraceKind`]; unlike the retained
     /// events these survive ring eviction.
-    counts: [u64; 5],
+    counts: [u64; TRACE_KINDS],
     /// Restrict recording to one link, if set.
     pub only_link: Option<LinkId>,
     /// Restrict recording to one flow, if set.
@@ -108,7 +125,7 @@ impl TraceBuffer {
             events: VecDeque::with_capacity(capacity.min(1 << 16)),
             capacity,
             recorded: 0,
-            counts: [0; 5],
+            counts: [0; TRACE_KINDS],
             only_link: None,
             only_flow: None,
         }
@@ -205,6 +222,9 @@ mod tests {
         t.record(ev(8, 0, 1, TraceKind::Drop));
         t.record(ev(9, 0, 1, TraceKind::FaultDrop));
         t.record(ev(10, 0, 1, TraceKind::Deliver));
+        t.record(ev(11, 0, 1, TraceKind::Corrupt));
+        t.record(ev(12, 0, 1, TraceKind::LinkDownDrop));
+        t.record(ev(13, 0, 1, TraceKind::NoRoute));
         // Ring keeps only 2 events, counters keep everything.
         assert_eq!(t.len(), 2);
         assert_eq!(t.count(TraceKind::Enqueue), 6);
@@ -212,6 +232,9 @@ mod tests {
         assert_eq!(t.count(TraceKind::Drop), 1);
         assert_eq!(t.count(TraceKind::FaultDrop), 1);
         assert_eq!(t.count(TraceKind::Deliver), 1);
+        assert_eq!(t.count(TraceKind::Corrupt), 1);
+        assert_eq!(t.count(TraceKind::LinkDownDrop), 1);
+        assert_eq!(t.count(TraceKind::NoRoute), 1);
         // Filtered-out events don't count.
         t.only_link = Some(LinkId(7));
         t.record(ev(11, 8, 1, TraceKind::Enqueue));

@@ -269,6 +269,17 @@ impl FatTree {
         (self.k / 2) * (self.k / 2)
     }
 
+    /// The aggregation↔core link between core `(i, j)` and pod `p`'s
+    /// aggregation switch `i`. Inter-pod traffic under tag `t` crosses
+    /// core `(t % (k/2), t / (k/2))`, so killing one of these severs
+    /// exactly one path tag between pods — the failover experiment's
+    /// fault.
+    pub fn core_link(&self, i: usize, j: usize, p: usize) -> LinkId {
+        let h = self.k / 2;
+        assert!(i < h && j < h && p < self.k, "core_link out of range");
+        self.core_links[(i * h + j) * self.k + p]
+    }
+
     /// Locality class of a host pair.
     pub fn category(&self, src: usize, dst: usize) -> FlowCategory {
         let (ps, es, _) = self.locate(src);

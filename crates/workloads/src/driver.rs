@@ -377,7 +377,7 @@ mod tests {
         let size = 5 * DEFAULT_MSS as u64 + 123;
         let conn = d.submit(flow(&db, 0, size, Scheme::xmp(1), 0));
         d.run(&mut sim, SimTime::from_secs(2), |_, _, _| {});
-        let rec = d.record(conn).unwrap();
+        let rec = d.record(conn).expect("record of the submitted flow");
         assert!(rec.completed.is_some(), "flow did not finish");
         assert!(rec.goodput_bps > 0.0);
         assert_eq!(d.completed_count(), 1);
@@ -390,9 +390,11 @@ mod tests {
         let c1 = d.submit(flow(&db, 0, 200_000, Scheme::Dctcp, 0));
         let c2 = d.submit(flow(&db, 1, 200_000, Scheme::Dctcp, 50));
         d.run(&mut sim, SimTime::from_secs(2), |_, _, _| {});
-        let r1 = d.record(c1).unwrap();
-        let r2 = d.record(c2).unwrap();
-        assert!(r1.completed.unwrap() < r2.completed.unwrap());
+        let r1 = d.record(c1).expect("record of flow 1");
+        let r2 = d.record(c2).expect("record of flow 2");
+        assert!(
+            r1.completed.expect("flow 1 completed") < r2.completed.expect("flow 2 completed")
+        );
         assert!(r2.start >= SimTime::from_millis(50));
     }
 
@@ -423,7 +425,7 @@ mod tests {
         let conn = d.submit(flow(&db, 0, u64::MAX, Scheme::xmp(1), 0));
         d.run(&mut sim, SimTime::from_millis(500), |_, _, _| {});
         d.stop_flow(&mut sim, conn);
-        let rec = d.record(conn).unwrap();
+        let rec = d.record(conn).expect("record of the stopped flow");
         assert!(rec.completed.is_none());
         // ~300 Mbps for 0.5 s less handshake/ramp-up.
         assert!(

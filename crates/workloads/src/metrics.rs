@@ -14,7 +14,10 @@ impl Cdf {
     /// Build from any sample iterator (NaNs are dropped).
     pub fn new(samples: impl IntoIterator<Item = f64>) -> Self {
         let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(|a, b| {
+            a.partial_cmp(b)
+                .expect("CDF samples are finite after the NaN filter")
+        });
         Cdf { sorted }
     }
 
@@ -43,12 +46,12 @@ impl Cdf {
 
     /// Smallest sample.
     pub fn min(&self) -> f64 {
-        *self.sorted.first().expect("non-empty")
+        *self.sorted.first().expect("min of empty distribution")
     }
 
     /// Largest sample.
     pub fn max(&self) -> f64 {
-        *self.sorted.last().expect("non-empty")
+        *self.sorted.last().expect("max of empty distribution")
     }
 
     /// Arithmetic mean.
@@ -147,8 +150,8 @@ mod tests {
             assert!(w[1].0 >= w[0].0);
             assert!(w[1].1 >= w[0].1);
         }
-        assert_eq!(pts.first().unwrap().0, 1.0);
-        assert_eq!(pts.last().unwrap().0, 5.0);
+        assert_eq!(pts.first().expect("curve of the 5-sample CDF").0, 1.0);
+        assert_eq!(pts.last().expect("curve of the 5-sample CDF").0, 5.0);
     }
 
     #[test]
@@ -186,7 +189,7 @@ mod tests {
             let mut rng = SimRng::new(seed);
             let n = 2 + rng.index(98);
             let mut xs: Vec<f64> = (0..n).map(|_| (rng.unit_f64() - 0.5) * 2e6).collect();
-            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs.sort_by(|a, b| a.partial_cmp(b).expect("uniform samples are finite"));
             let c = Cdf::new(xs.iter().copied());
             let mut last = f64::NEG_INFINITY;
             for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Perf snapshot: builds the bench runners in release mode and writes
-# BENCH_pr1.json and BENCH_pr2.json into the repo root.
+# BENCH_pr1.json, BENCH_pr2.json and BENCH_pr3.json into the repo root.
 #
 #   bench_pr1 — scheduler microbench wheel-vs-heap, scaled-down fig1 and
 #               table1 wall clocks, serial-vs-parallel suite
 #   bench_pr2 — forwarding fast path: {dynamic router, compiled FIB} x
 #               {eager, lazy link pipeline} on fig1 and a table1 cell
+#   bench_pr3 — fault-machinery overhead (empty plan) vs the committed
+#               BENCH_pr2.json, plus the failover experiment itself
 #
 # The per-figure benches remain runnable individually via
 #   cargo bench --bench fig1   (etc.)
@@ -17,3 +19,5 @@ cargo build --release --offline -p xmp-bench
 echo "bench.sh: wrote $(pwd)/BENCH_pr1.json"
 ./target/release/bench_pr2
 echo "bench.sh: wrote $(pwd)/BENCH_pr2.json"
+./target/release/bench_pr3
+echo "bench.sh: wrote $(pwd)/BENCH_pr3.json"

@@ -6,4 +6,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --workspace --release --offline
 cargo test -q --workspace --offline
+# Smoke: the failover experiment must survive a mid-run link failure
+# (and its packet-conservation audit) end to end.
+cargo run --release --offline -p xmp-experiments -- failover --quick
 echo "check.sh: all green"

@@ -63,7 +63,9 @@ pub use xmp_workloads as workloads;
 pub mod prelude {
     pub use xmp_core::{Bos, Xmp, XmpParams};
     pub use xmp_des::{Bandwidth, ByteSize, SimDuration, SimRng, SimTime};
-    pub use xmp_netsim::{Addr, Ecn, LinkParams, NodeId, PortId, QdiscConfig, Sim};
+    pub use xmp_netsim::{
+        Addr, Ecn, FaultPlan, LinkParams, NodeId, PortId, QdiscConfig, Sim, SimTuning,
+    };
     pub use xmp_topo::{Dumbbell, FatTree, FatTreeConfig, FlowCategory, Torus};
     pub use xmp_transport::{
         CongestionControl, Dctcp, HostStack, Lia, Reno, Segment, StackConfig, SubflowSpec,

@@ -77,6 +77,96 @@ fn same_seed_same_run_bit_for_bit() {
     assert_ne!(dumbbell_run(1).2, dumbbell_run(2).2);
 }
 
+/// The dumbbell scenario under a full fault plan — a mid-run outage of
+/// the bottleneck with Bernoulli loss and corruption on top — returning
+/// (events, final clock, flow digest, conservation digest).
+fn faulted_dumbbell_run(seed: u64, tuning: SimTuning) -> (u64, u64, u64, u64) {
+    let mut sim: Sim<Segment> = Sim::new(seed);
+    sim.set_tuning(tuning);
+    let db = Dumbbell::build(
+        &mut sim,
+        4,
+        Bandwidth::from_gbps(1),
+        SimDuration::from_micros(400),
+        QdiscConfig::EcnThreshold { cap: 100, k: 10 },
+        |_| Box::new(HostStack::new(StackConfig::default())),
+    );
+    sim.install_fault_plan(
+        &FaultPlan::new()
+            .drop_rate(db.bottleneck, 0.02)
+            .corrupt_rate(db.bottleneck, 0.01)
+            .link_down(SimTime::from_millis(50), db.bottleneck)
+            .link_up(SimTime::from_millis(120), db.bottleneck),
+    );
+    let mut d = Driver::new();
+    for i in 0..4 {
+        d.submit(FlowSpecBuilder {
+            src_node: db.sources[i],
+            subflows: vec![SubflowSpec {
+                local_port: PortId(0),
+                src: Dumbbell::src_addr(i),
+                dst: Dumbbell::dst_addr(i),
+            }],
+            size: 2_000_000,
+            scheme: if i % 2 == 0 { Scheme::xmp(1) } else { Scheme::Dctcp },
+            start: SimTime::from_millis(i as u64),
+            category: None,
+            tag: i as u64,
+        });
+    }
+    d.run(&mut sim, SimTime::from_secs(10), |_, _, _| {});
+    let flows: Vec<String> = d
+        .records()
+        .map(|r| format!("{}:{:?}:{:.6}:{}", r.tag, r.completed, r.goodput_bps, r.rtos))
+        .collect();
+    // Panics if any packet is unaccounted for; its digest must be stable.
+    let audit = sim.audit_conservation();
+    (
+        sim.events_processed(),
+        sim.now().as_nanos(),
+        digest(&flows.join(";")),
+        digest(&format!("{audit:?}")),
+    )
+}
+
+const ALL_TUNINGS: [SimTuning; 4] = [
+    SimTuning { compiled_fib: false, lazy_links: false, drop_unroutable: false },
+    SimTuning { compiled_fib: true, lazy_links: false, drop_unroutable: false },
+    SimTuning { compiled_fib: false, lazy_links: true, drop_unroutable: false },
+    SimTuning { compiled_fib: true, lazy_links: true, drop_unroutable: false },
+];
+
+#[test]
+fn fault_seeded_runs_are_bit_identical_under_every_tuning() {
+    for tuning in ALL_TUNINGS {
+        let a = faulted_dumbbell_run(5, tuning);
+        let b = faulted_dumbbell_run(5, tuning);
+        assert_eq!(a, b, "{tuning:?}: fault-seeded reruns diverged");
+        assert!(a.0 > 1000, "{tuning:?}: suspiciously few events ({})", a.0);
+    }
+    // Different fault seeds genuinely change the outcome.
+    assert_ne!(
+        faulted_dumbbell_run(5, ALL_TUNINGS[0]).2,
+        faulted_dumbbell_run(6, ALL_TUNINGS[0]).2
+    );
+}
+
+#[test]
+fn fault_outcomes_agree_across_tunings() {
+    // The event count differs by design (2 events per hop eager, 1 lazy),
+    // but the simulated outcome — clock, per-flow results, conservation
+    // totals — must be identical whichever fast path computed it.
+    let base = faulted_dumbbell_run(5, ALL_TUNINGS[0]);
+    for tuning in &ALL_TUNINGS[1..] {
+        let r = faulted_dumbbell_run(5, *tuning);
+        assert_eq!(
+            (r.1, r.2, r.3),
+            (base.1, base.2, base.3),
+            "{tuning:?}: fault outcome diverged from the baseline pipeline"
+        );
+    }
+}
+
 #[test]
 fn fig1_rerun_is_identical() {
     let cfg = Fig1Config {
