@@ -1,0 +1,180 @@
+//! Perf snapshot for the observability layer, written to `BENCH_pr4.json`
+//! (run from the repo root, e.g. via `scripts/bench.sh`).
+//!
+//! Two questions:
+//!
+//! 1. **What do probes cost when off?** The probe fields and profiling
+//!    counters are always compiled in, so the suite hot path is rerun
+//!    probes-off under all four `SimTuning` combinations and compared
+//!    against the committed `BENCH_pr3.json` (target: ≤ 1.02 on
+//!    `compiled_lazy`).
+//! 2. **What do probes cost when on?** The same cell runs with 1 ms
+//!    sampling over every core link; the `probe_overhead_median` /
+//!    `probe_overhead_min` ratios (on vs off, same process) should stay
+//!    ≤ 1.05 — sampling is a handful of counter reads per tick.
+//!
+//! The dynamics experiment (the probe layer's real consumer) is timed as
+//! well, and each cell records the engine profile counters (event mix,
+//! pool hit rate) the `SimProfile` subsystem introduces.
+
+use xmp_bench::{measure, BenchConfig, Json};
+use xmp_des::SimDuration;
+use xmp_experiments::dynamics::{self, DynamicsConfig};
+use xmp_experiments::suite::{run_suite_profiled, Pattern, SuiteConfig};
+use xmp_netsim::{SimProfile, SimTuning};
+use xmp_workloads::Scheme;
+
+const COMBOS: [(&str, SimTuning); 4] = [
+    (
+        "dynamic_eager",
+        SimTuning {
+            compiled_fib: false,
+            lazy_links: false,
+            drop_unroutable: false,
+        },
+    ),
+    (
+        "compiled_eager",
+        SimTuning {
+            compiled_fib: true,
+            lazy_links: false,
+            drop_unroutable: false,
+        },
+    ),
+    (
+        "dynamic_lazy",
+        SimTuning {
+            compiled_fib: false,
+            lazy_links: true,
+            drop_unroutable: false,
+        },
+    ),
+    (
+        "compiled_lazy",
+        SimTuning {
+            compiled_fib: true,
+            lazy_links: true,
+            drop_unroutable: false,
+        },
+    ),
+];
+
+/// Scan a committed snapshot for `section.combo.<field>` without a JSON
+/// parser (the workspace has none, by design).
+fn prior_ms(doc: &str, section: &str, combo: &str, field: &str) -> Option<f64> {
+    let s = doc.find(&format!("\"{section}\""))?;
+    let c = s + doc[s..].find(&format!("\"{combo}\""))?;
+    let m = c + doc[c..].find(&format!("\"{field}\""))?;
+    let colon = m + doc[m..].find(':')?;
+    let rest = &doc[colon + 1..];
+    let end = rest
+        .find(|ch: char| ch == ',' || ch == '}')
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn suite_cell(tuning: SimTuning, probe_interval: Option<SimDuration>) -> (u64, SimProfile) {
+    let cfg = SuiteConfig {
+        target_flows: 16,
+        tuning,
+        probe_interval,
+        ..SuiteConfig::quick(Scheme::xmp(2), Pattern::Permutation)
+    };
+    let (r, events, profile) = run_suite_profiled(&cfg);
+    std::hint::black_box(r);
+    (events, profile)
+}
+
+fn profile_json(p: &SimProfile) -> Json {
+    Json::obj()
+        .set("deliver", p.deliver)
+        .set("tx_done", p.tx_done)
+        .set("timer", p.timer)
+        .set("fault", p.fault)
+        .set("sample", p.sample)
+        .set("pool_hit_rate", p.pool_hit_rate())
+        .set("fib_compile_ms", p.fib_compile_ns as f64 / 1e6)
+}
+
+fn main() {
+    let pr3 = std::fs::read_to_string("BENCH_pr3.json").ok();
+    if pr3.is_none() {
+        println!("note: BENCH_pr3.json not found, skipping continuity ratios");
+    }
+
+    println!("table1 cell (quick, XMP-2/Permutation), probes off vs on:");
+    let mut suite_section = Json::obj();
+    for (name, tuning) in COMBOS {
+        let mut events = 0;
+        let mut profile = SimProfile::default();
+        let off = measure(BenchConfig::default(), || {
+            (events, profile) = suite_cell(tuning, None);
+        });
+        let on = measure(BenchConfig::default(), || {
+            let r = suite_cell(tuning, Some(SimDuration::from_millis(1)));
+            std::hint::black_box(r);
+        });
+        let overhead_median = on.median_ns as f64 / off.median_ns as f64;
+        let overhead_min = on.min_ms() / off.min_ms();
+        let mut cell = Json::from(off)
+            .set("events", events)
+            .set("probes_on_median_ms", on.median_ns as f64 / 1e6)
+            .set("probes_on_min_ms", on.min_ms())
+            .set("probe_overhead_median", overhead_median)
+            .set("probe_overhead_min", overhead_min)
+            .set("profile", profile_json(&profile));
+        let min_ratio = pr3
+            .as_deref()
+            .and_then(|doc| prior_ms(doc, "table1_cell_quick", name, "min_ms"))
+            .map(|old| off.min_ms() / old);
+        if let Some(r) = pr3
+            .as_deref()
+            .and_then(|doc| prior_ms(doc, "table1_cell_quick", name, "median_ms"))
+            .map(|old| (off.median_ns as f64 / 1e6) / old)
+        {
+            cell = cell.set("vs_pr3_median", r);
+        }
+        if let Some(r) = min_ratio {
+            cell = cell.set("vs_pr3_min", r);
+        }
+        println!(
+            "  {name:<15} off {:>8.1} ms, on {:>8.1} ms ({overhead_min:.3}x min){}",
+            off.median_ns as f64 / 1e6,
+            on.median_ns as f64 / 1e6,
+            min_ratio.map_or(String::new(), |r| format!(", {r:.3}x vs PR3 min")),
+        );
+        suite_section = suite_section.set(name, cell);
+    }
+
+    println!("dynamics (quick, XMP-2 + DCTCP, probes fully on):");
+    let dynamics_sample = measure(BenchConfig::heavy(), || {
+        std::hint::black_box(dynamics::run(&DynamicsConfig::quick()));
+    });
+    println!(
+        "  {:<15} median {:>8.1} ms",
+        "dynamics_quick",
+        dynamics_sample.median_ns as f64 / 1e6
+    );
+
+    let report = Json::obj()
+        .set("host", xmp_bench::host_meta())
+        .set(
+            "note",
+            "probe_overhead_* compare the same suite cell probes-on (1 ms \
+             core-link sampling) vs probes-off in one process; target <= \
+             1.05. vs_pr3_* compare probes-off against the committed \
+             BENCH_pr3.json (target <= ~1.02 on compiled_lazy). Trust the \
+             *_min ratios on shared hosts.",
+        )
+        .set(
+            "table1_cell_quick",
+            suite_section.set("config", "quick k=4, 16 flows, XMP-2 / Permutation"),
+        )
+        .set(
+            "dynamics_quick",
+            Json::from(dynamics_sample).set("config", "dumbbell 1 Gbps, 150x1ms epochs, 2 schemes"),
+        );
+    let out = report.render();
+    std::fs::write("BENCH_pr4.json", &out).expect("write BENCH_pr4.json");
+    println!("wrote BENCH_pr4.json");
+}

@@ -21,7 +21,7 @@
 //! the standalone single-path controller (used by the paper's Fig. 1
 //! "halving cwnd" flows with β = 2, and as the XMP building block).
 
-use xmp_transport::cc::{AckInfo, CongestionControl, SubflowCc, MIN_CWND};
+use xmp_transport::cc::{AckInfo, CcSnapshot, CongestionControl, SubflowCc, MIN_CWND};
 use xmp_transport::segment::EchoMode;
 
 /// The ECN reaction state of a subflow (paper Fig. 2).
@@ -127,6 +127,17 @@ impl RoundState {
         }
     }
 
+    /// Snapshot for the probe layer ([`CongestionControl::probe`]): the
+    /// Fig. 2 state, current δ and the round/reduction counters.
+    pub fn snapshot(&self) -> CcSnapshot {
+        CcSnapshot {
+            reduced: self.state == EcnState::Reduced,
+            delta: self.delta,
+            rounds: self.rounds,
+            reductions: self.reductions,
+        }
+    }
+
     /// End-of-round additive increase (congestion avoidance, NORMAL state):
     /// `adder += δ; cwnd += ⌊adder⌋; adder -= ⌊adder⌋`.
     pub fn apply_increase(&mut self, sub: &mut SubflowCc) {
@@ -227,6 +238,10 @@ impl CongestionControl for Bos {
 
     fn observed_round_p(&self, _r: usize) -> Option<f64> {
         Some(self.round.observed_p())
+    }
+
+    fn probe(&self, r: usize) -> Option<CcSnapshot> {
+        (r == 0).then(|| self.round.snapshot())
     }
 }
 

@@ -30,7 +30,7 @@
 
 use crate::bos::RoundState;
 use crate::trash;
-use xmp_transport::cc::{AckInfo, CongestionControl, SubflowCc, MIN_CWND};
+use xmp_transport::cc::{AckInfo, CcSnapshot, CongestionControl, SubflowCc, MIN_CWND};
 use xmp_transport::segment::EchoMode;
 
 /// The eXplicit MultiPath congestion controller.
@@ -144,6 +144,10 @@ impl CongestionControl for Xmp {
 
     fn observed_round_p(&self, r: usize) -> Option<f64> {
         self.rounds.get(r).map(RoundState::observed_p)
+    }
+
+    fn probe(&self, r: usize) -> Option<CcSnapshot> {
+        self.rounds.get(r).map(RoundState::snapshot)
     }
 }
 

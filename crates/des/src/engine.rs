@@ -15,6 +15,7 @@ pub struct Engine<E> {
     queue: EventQueue<E>,
     now: SimTime,
     processed: u64,
+    scheduled: u64,
 }
 
 impl<E> Default for Engine<E> {
@@ -30,6 +31,7 @@ impl<E> Engine<E> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             processed: 0,
+            scheduled: 0,
         }
     }
 
@@ -41,6 +43,13 @@ impl<E> Engine<E> {
     /// Number of events handled so far.
     pub fn processed(&self) -> u64 {
         self.processed
+    }
+
+    /// Number of events ever scheduled (a profiling counter; always ≥
+    /// [`Engine::processed`], the difference being cancelled-stale or
+    /// still-pending events).
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled
     }
 
     /// Number of events still pending.
@@ -69,6 +78,7 @@ impl<E> Engine<E> {
             "scheduled event in the past: at={at:?} now={:?}",
             self.now
         );
+        self.scheduled += 1;
         self.queue.push_keyed(at, key, event);
     }
 

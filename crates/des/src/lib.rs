@@ -36,6 +36,8 @@
 //! assert_eq!(seen[0].0, 5_000);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod queue;
 pub mod rng;

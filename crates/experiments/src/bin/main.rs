@@ -13,12 +13,14 @@
 //!   table2    XMP coexistence with LIA / TCP / DCTCP
 //!   ablation  beta/K sweep, TraSh-coupling ablation, OLIA comparison
 //!   failover  goodput through a mid-transfer core-link failure
-//!   all       everything above
+//!   dynamics  Fig.2-style cwnd/queue time series, exported to results/
+//!   trace     export | report [files...] — write / summarize JSONL traces
+//!   all       everything above (except trace)
 //! ```
 
 use std::time::Instant;
 use xmp_experiments::suite::{self, Pattern, SuiteConfig};
-use xmp_experiments::{ablation, failover, fig1, fig4, fig6, fig7, table2};
+use xmp_experiments::{ablation, dynamics, failover, fig1, fig4, fig6, fig7, report, table2};
 use xmp_workloads::Scheme;
 
 #[derive(Debug, Clone)]
@@ -143,8 +145,9 @@ fn run_fattree(o: &Opts) {
         for &s in &schemes {
             let cfg = suite_cfg(o, s, p);
             let label = format!("{}/{}", s.label(), p.label());
-            let r = timed(&label, || suite::run_suite(&cfg));
+            let (r, _events, profile) = timed(&label, || suite::run_suite_profiled(&cfg));
             eprintln!("  -> {r}");
+            eprintln!("  -> profile: {}", profile.summary());
             results.push(r);
         }
     }
@@ -179,6 +182,60 @@ fn run_table2(o: &Opts) {
     println!("{r}");
 }
 
+fn run_dynamics(o: &Opts) {
+    let mut cfg = if o.quick {
+        dynamics::DynamicsConfig::quick()
+    } else {
+        dynamics::DynamicsConfig::default()
+    };
+    cfg.seed = o.seed;
+    let r = timed("dynamics", || dynamics::run(&cfg));
+    print!("{r}");
+    std::fs::create_dir_all("results").expect("create results/");
+    for tr in &r.traces {
+        let path = format!("results/{}", tr.filename());
+        std::fs::write(&path, &tr.jsonl).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path} ({} lines)", tr.jsonl.lines().count());
+    }
+}
+
+/// `trace report [files...]` — defaults to every results/dynamics_*.jsonl.
+fn run_trace_report(paths: &[String]) {
+    let paths: Vec<String> = if paths.is_empty() {
+        let mut found: Vec<String> = std::fs::read_dir("results")
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.path().to_string_lossy().into_owned())
+            .filter(|p| p.ends_with(".jsonl"))
+            .collect();
+        found.sort();
+        if found.is_empty() {
+            eprintln!("no .jsonl traces under results/ — run `dynamics` or `trace export` first");
+            std::process::exit(2);
+        }
+        found
+    } else {
+        paths.to_vec()
+    };
+    for path in &paths {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("read {path}: {e}");
+            std::process::exit(2);
+        });
+        match report::parse_jsonl(&text) {
+            Ok(records) => {
+                println!("-- {path} --");
+                print!("{}", report::summarize(&records));
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn run_failover(o: &Opts) {
     let mut cfg = if o.quick {
         failover::FailoverConfig::quick()
@@ -193,9 +250,21 @@ fn run_failover(o: &Opts) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: xmp-experiments <fig1|fig4|fig6|fig7|fattree|table2|ablation|failover|all> [--quick] [--seed N] [--scale N] [--flows N]");
+        eprintln!("usage: xmp-experiments <fig1|fig4|fig6|fig7|fattree|table2|ablation|failover|dynamics|trace|all> [--quick] [--seed N] [--scale N] [--flows N]");
         std::process::exit(2);
     };
+    // `trace` takes file paths, which parse_opts would reject.
+    if cmd == "trace" {
+        match rest.split_first() {
+            Some((sub, tail)) if sub == "export" => run_dynamics(&parse_opts(tail)),
+            Some((sub, tail)) if sub == "report" => run_trace_report(tail),
+            _ => {
+                eprintln!("usage: xmp-experiments trace <export [--quick] [--seed N] | report [files...]>");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     let o = parse_opts(rest);
     match cmd.as_str() {
         "fig1" => run_fig1(&o),
@@ -205,6 +274,7 @@ fn main() {
         "fattree" | "table1" | "fig8" | "fig9" | "fig10" | "fig11" | "table3" => run_fattree(&o),
         "table2" => run_table2(&o),
         "failover" => run_failover(&o),
+        "dynamics" => run_dynamics(&o),
         "ablation" => {
             let cfg = if o.quick {
                 ablation::AblationConfig::quick()
@@ -222,6 +292,7 @@ fn main() {
             run_fattree(&o);
             run_table2(&o);
             run_failover(&o);
+            run_dynamics(&o);
         }
         other => {
             eprintln!("unknown command {other}");

@@ -12,6 +12,8 @@
 //! | Table 2 | [`table2`] | XMP coexistence with LIA / TCP / DCTCP |
 //! | (extensions) | [`ablation`] | β/K sweep, TraSh-coupling ablation, OLIA |
 //! | (extensions) | [`failover`] | goodput through a mid-transfer core-link failure |
+//! | Fig. 2 (dynamics) | [`dynamics`] | cwnd/queue/mark time series, exported as JSONL |
+//! | (tooling) | [`report`] | summaries rendered back from exported traces |
 //!
 //! Each module exposes a `Config` (with paper defaults and a `quick()`
 //! variant for benches), a `run` function, and a `Display`able result that
@@ -20,11 +22,13 @@
 
 pub mod ablation;
 pub mod common;
+pub mod dynamics;
 pub mod failover;
 pub mod fig1;
 pub mod fig4;
 pub mod fig6;
 pub mod fig7;
+pub mod report;
 pub mod suite;
 pub mod table2;
 

@@ -1,0 +1,397 @@
+//! `trace report` — render summaries from exported JSONL probe traces.
+//!
+//! Consumes the files `dynamics` / `trace export` write under `results/`
+//! (any [`ProbeRecord`] stream works) and reduces each series to the
+//! numbers the paper discusses:
+//!
+//! * per-subflow cwnd percentiles and the fraction of samples spent in the
+//!   REDUCED state, plus the final observed p̃ = reductions / rounds,
+//! * watched-queue depth percentiles, total/maximum per-epoch mark counts
+//!   and drops (DCTCP vs XMP queue occupancy around K),
+//! * mean delivered rate per watched link direction.
+//!
+//! Parsing uses the std-only [`ProbeRecord::parse`] checker — a malformed
+//! line fails loudly with its line number, which is what lets `check.sh`
+//! validate exports without any external JSON tooling.
+
+use crate::common::{frac, mbps, TextTable};
+use std::collections::BTreeMap;
+use std::fmt;
+use xmp_netsim::ProbeRecord;
+
+/// Parse a whole JSONL export; errors carry the 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<ProbeRecord>, String> {
+    text.lines()
+        .enumerate()
+        .map(|(i, line)| ProbeRecord::parse(line).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+/// Aggregated cwnd series of one (connection, subflow).
+#[derive(Debug)]
+pub struct CwndSummary {
+    /// Connection key.
+    pub conn: u64,
+    /// Subflow index.
+    pub subflow: u32,
+    /// Samples seen.
+    pub samples: usize,
+    /// 10th/50th/90th percentile window (packets).
+    pub cwnd_p: [f64; 3],
+    /// Fraction of samples in the REDUCED state (round-based schemes).
+    pub time_reduced: Option<f64>,
+    /// Final observed p̃ = reductions / rounds, if the scheme counts rounds.
+    pub observed_p: Option<f64>,
+    /// Final TraSh gain δ, if any.
+    pub final_delta: Option<f64>,
+}
+
+/// Aggregated queue/utilization series of one watched link direction.
+#[derive(Debug)]
+pub struct QueueSummary {
+    /// Link id.
+    pub link: u32,
+    /// Direction index.
+    pub dir: u8,
+    /// Samples seen.
+    pub samples: usize,
+    /// 10th/50th/90th percentile instantaneous depth (packets).
+    pub depth_p: [f64; 3],
+    /// Maximum sampled depth.
+    pub depth_max: u64,
+    /// Marks over the trace (last minus first cumulative counter).
+    pub marked: u64,
+    /// Largest between-samples mark burst.
+    pub max_marks_per_epoch: u64,
+    /// Drops over the trace.
+    pub dropped: u64,
+    /// Mean delivered rate over the sampled span (bits/s), if utilization
+    /// records cover a non-empty interval.
+    pub mean_rate_bps: Option<f64>,
+}
+
+/// Everything `trace report` prints about one export.
+#[derive(Debug)]
+pub struct TraceSummary {
+    /// The meta line, if the export carries one.
+    pub meta: Option<ProbeRecord>,
+    /// Total records.
+    pub records: usize,
+    /// Exact-instant mark records.
+    pub mark_events: usize,
+    /// One row per (connection, subflow).
+    pub cwnd: Vec<CwndSummary>,
+    /// One row per watched link direction.
+    pub queues: Vec<QueueSummary>,
+}
+
+/// Percentile by nearest-rank on a sorted copy.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn percentiles(mut vals: Vec<f64>) -> [f64; 3] {
+    vals.sort_by(|a, b| a.partial_cmp(b).expect("finite series"));
+    [
+        percentile(&vals, 0.10),
+        percentile(&vals, 0.50),
+        percentile(&vals, 0.90),
+    ]
+}
+
+/// Reduce a record stream to its summary.
+pub fn summarize(records: &[ProbeRecord]) -> TraceSummary {
+    let mut meta = None;
+    let mut mark_events = 0;
+    // (conn, subflow) -> (cwnds, reduced flags, last cc counters)
+    #[allow(clippy::type_complexity)]
+    let mut cwnd: BTreeMap<(u64, u32), (Vec<f64>, usize, usize, Option<(f64, u64, u64)>)> =
+        BTreeMap::new();
+    // (link, dir) -> (depths, (enqueued, marked, dropped) series, util pts)
+    #[allow(clippy::type_complexity)]
+    let mut queues: BTreeMap<(u32, u8), (Vec<f64>, Vec<u64>, u64, Vec<(u64, u64)>)> =
+        BTreeMap::new();
+
+    for r in records {
+        match r {
+            ProbeRecord::Meta { .. } => meta = Some(r.clone()),
+            ProbeRecord::Cwnd {
+                conn,
+                subflow,
+                cwnd: w,
+                cc,
+                ..
+            } => {
+                let e = cwnd.entry((*conn, *subflow)).or_default();
+                e.0.push(*w);
+                if let Some(cc) = cc {
+                    e.1 += usize::from(cc.reduced);
+                    e.2 += 1;
+                    e.3 = Some((cc.delta, cc.rounds, cc.reductions));
+                }
+            }
+            ProbeRecord::Queue {
+                link,
+                dir,
+                depth,
+                marked,
+                dropped,
+                ..
+            } => {
+                let e = queues.entry((*link, *dir)).or_default();
+                e.0.push(*depth as f64);
+                e.1.push(*marked);
+                e.2 = *dropped;
+            }
+            ProbeRecord::Mark { .. } => mark_events += 1,
+            ProbeRecord::Util {
+                link,
+                dir,
+                at,
+                delivered_bytes,
+            } => {
+                queues
+                    .entry((*link, *dir))
+                    .or_default()
+                    .3
+                    .push((at.as_nanos(), *delivered_bytes));
+            }
+        }
+    }
+
+    TraceSummary {
+        meta,
+        records: records.len(),
+        mark_events,
+        cwnd: cwnd
+            .into_iter()
+            .map(|((conn, subflow), (ws, reduced, cc_samples, last_cc))| CwndSummary {
+                conn,
+                subflow,
+                samples: ws.len(),
+                cwnd_p: percentiles(ws),
+                time_reduced: (cc_samples > 0).then(|| reduced as f64 / cc_samples as f64),
+                observed_p: last_cc.map(|(_, rounds, reds)| {
+                    if rounds == 0 {
+                        0.0
+                    } else {
+                        (reds as f64 / rounds as f64).min(1.0)
+                    }
+                }),
+                final_delta: last_cc.map(|(d, _, _)| d),
+            })
+            .collect(),
+        queues: queues
+            .into_iter()
+            .map(|((link, dir), (depths, marked, dropped, util))| {
+                let total_marked = match (marked.first(), marked.last()) {
+                    (Some(&a), Some(&b)) => b.saturating_sub(a),
+                    _ => 0,
+                };
+                let max_burst = marked
+                    .windows(2)
+                    .map(|w| w[1].saturating_sub(w[0]))
+                    .max()
+                    .unwrap_or(0);
+                let mean_rate_bps = match (util.first(), util.last()) {
+                    (Some(&(t0, b0)), Some(&(t1, b1))) if t1 > t0 => {
+                        Some((b1.saturating_sub(b0)) as f64 * 8.0 / ((t1 - t0) as f64 / 1e9))
+                    }
+                    _ => None,
+                };
+                QueueSummary {
+                    link,
+                    dir,
+                    samples: depths.len(),
+                    depth_max: depths.iter().fold(0.0f64, |a, &d| a.max(d)) as u64,
+                    depth_p: percentiles(depths),
+                    marked: total_marked,
+                    max_marks_per_epoch: max_burst,
+                    dropped,
+                    mean_rate_bps,
+                }
+            })
+            .collect(),
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let title = match &self.meta {
+            Some(ProbeRecord::Meta {
+                experiment,
+                scheme,
+                seed,
+                note,
+            }) => format!("{experiment} / {scheme} (seed {seed}) — {note}"),
+            _ => "trace (no meta line)".to_string(),
+        };
+        writeln!(
+            f,
+            "{title}\n  {} records, {} exact-instant marks",
+            self.records, self.mark_events
+        )?;
+        if !self.cwnd.is_empty() {
+            let mut t = TextTable::new("cwnd (packets)").header([
+                "conn.subflow",
+                "samples",
+                "p10",
+                "p50",
+                "p90",
+                "reduced",
+                "observed p",
+                "delta",
+            ]);
+            for c in &self.cwnd {
+                t.row([
+                    format!("{}.{}", c.conn, c.subflow),
+                    format!("{}", c.samples),
+                    format!("{:.1}", c.cwnd_p[0]),
+                    format!("{:.1}", c.cwnd_p[1]),
+                    format!("{:.1}", c.cwnd_p[2]),
+                    c.time_reduced.map_or("-".into(), frac),
+                    c.observed_p.map_or("-".into(), frac),
+                    c.final_delta.map_or("-".into(), |d| format!("{d:.2}")),
+                ]);
+            }
+            writeln!(f, "{t}")?;
+        }
+        if !self.queues.is_empty() {
+            let mut t = TextTable::new("watched queues").header([
+                "link.dir",
+                "samples",
+                "depth p10",
+                "p50",
+                "p90",
+                "max",
+                "marked",
+                "max/epoch",
+                "dropped",
+                "rate (Mbps)",
+            ]);
+            for q in &self.queues {
+                t.row([
+                    format!("l{}.{}", q.link, q.dir),
+                    format!("{}", q.samples),
+                    format!("{:.0}", q.depth_p[0]),
+                    format!("{:.0}", q.depth_p[1]),
+                    format!("{:.0}", q.depth_p[2]),
+                    format!("{}", q.depth_max),
+                    format!("{}", q.marked),
+                    format!("{}", q.max_marks_per_epoch),
+                    format!("{}", q.dropped),
+                    q.mean_rate_bps.map_or("-".into(), mbps),
+                ]);
+            }
+            writeln!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmp_des::SimTime;
+    use xmp_netsim::CcSnapshot;
+
+    fn queue(ms: u64, depth: u64, marked: u64, dropped: u64) -> ProbeRecord {
+        ProbeRecord::Queue {
+            at: SimTime::from_millis(ms),
+            link: 2,
+            dir: 0,
+            depth,
+            enqueued: 100 * ms,
+            marked,
+            dropped,
+        }
+    }
+
+    fn cwnd(ms: u64, subflow: u32, w: f64, reduced: bool, reds: u64) -> ProbeRecord {
+        ProbeRecord::Cwnd {
+            at: SimTime::from_millis(ms),
+            conn: 1,
+            subflow,
+            cwnd: w,
+            ssthresh: w - 1.0,
+            cc: Some(CcSnapshot {
+                reduced,
+                delta: 0.5,
+                rounds: 10 * (ms + 1),
+                reductions: reds,
+            }),
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_all_series() {
+        let mut recs = vec![ProbeRecord::Meta {
+            experiment: "dynamics".into(),
+            scheme: "XMP-2".into(),
+            seed: 7,
+            note: "test".into(),
+        }];
+        for ms in 0..4u64 {
+            recs.push(cwnd(ms, 0, 10.0 + ms as f64, ms == 1, ms));
+            recs.push(queue(ms, 5 + ms, 3 * ms, 0));
+        }
+        recs.push(ProbeRecord::Util {
+            at: SimTime::from_millis(0),
+            link: 2,
+            dir: 0,
+            delivered_bytes: 0,
+        });
+        recs.push(ProbeRecord::Util {
+            at: SimTime::from_millis(4),
+            link: 2,
+            dir: 0,
+            delivered_bytes: 500_000, // 4 ms -> 1 Gbps
+        });
+        recs.push(ProbeRecord::Mark {
+            at: SimTime::from_millis(1),
+            link: 2,
+            dir: 0,
+        });
+
+        let s = summarize(&recs);
+        assert_eq!(s.records, recs.len());
+        assert_eq!(s.mark_events, 1);
+        assert_eq!(s.cwnd.len(), 1);
+        let c = &s.cwnd[0];
+        assert_eq!((c.conn, c.subflow, c.samples), (1, 0, 4));
+        assert!((c.time_reduced.unwrap() - 0.25).abs() < 1e-12);
+        // last cc: rounds = 10*4 = 40, reductions = 3.
+        assert!((c.observed_p.unwrap() - 3.0 / 40.0).abs() < 1e-12);
+        assert_eq!(s.queues.len(), 1);
+        let q = &s.queues[0];
+        assert_eq!(q.samples, 4);
+        assert_eq!(q.depth_max, 8);
+        assert_eq!(q.marked, 9); // 9 - 0
+        assert_eq!(q.max_marks_per_epoch, 3);
+        let rate = q.mean_rate_bps.unwrap();
+        assert!((rate - 1e9).abs() < 1e6, "rate {rate}");
+
+        let txt = s.to_string();
+        assert!(txt.contains("dynamics / XMP-2 (seed 7)"), "{txt}");
+        assert!(txt.contains("watched queues"), "{txt}");
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "{\"type\":\"mark\",\"at_ns\":1,\"link\":0,\"dir\":0}\nnot json\n";
+        let err = parse_jsonl(text).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert_eq!(parse_jsonl("").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let p = percentiles(vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(p, [1.0, 3.0, 4.0]);
+        assert_eq!(percentiles(vec![]), [0.0, 0.0, 0.0]);
+    }
+}

@@ -78,6 +78,10 @@ pub struct SuiteConfig {
     pub rto_min: SimDuration,
     /// Simulator fast-path knobs (compiled FIBs, lazy links).
     pub tuning: SimTuning,
+    /// Install probes sampling every core link at this interval (`None`,
+    /// the default, schedules nothing — the bit-identical baseline). The
+    /// probe-overhead bench flips this on the otherwise-identical cell.
+    pub probe_interval: Option<SimDuration>,
 }
 
 impl SuiteConfig {
@@ -98,6 +102,7 @@ impl SuiteConfig {
             routing: RoutingMode::TwoLevel,
             rto_min: SimDuration::from_millis(200),
             tuning: SimTuning::default(),
+            probe_interval: None,
         }
     }
 
@@ -192,6 +197,15 @@ pub fn run_suite(cfg: &SuiteConfig) -> SuiteResult {
 /// bench harness; the count depends on the link pipeline, so it stays out
 /// of [`SuiteResult`] and its determinism digests).
 pub fn run_suite_counting(cfg: &SuiteConfig) -> (SuiteResult, u64) {
+    let (result, events, _) = run_suite_profiled(cfg);
+    (result, events)
+}
+
+/// [`run_suite_counting`], additionally returning the simulator's
+/// profiling counters (event mix, pool hit rate, wall time in the event
+/// loop). Like the event count, the profile stays out of [`SuiteResult`]
+/// so determinism digests compare workload outcomes only.
+pub fn run_suite_profiled(cfg: &SuiteConfig) -> (SuiteResult, u64, xmp_netsim::SimProfile) {
     let mut sim: Sim<Segment> = Sim::new(cfg.seed);
     sim.set_tuning(cfg.tuning);
     let ft_cfg = FatTreeConfig {
@@ -207,6 +221,14 @@ pub fn run_suite_counting(cfg: &SuiteConfig) -> (SuiteResult, u64) {
         Box::new(xmp_transport::HostStack::new(stack_cfg.clone()))
     });
     let mut driver = Driver::new();
+
+    if let Some(interval) = cfg.probe_interval {
+        let mut pc = xmp_netsim::ProbeConfig::every(interval).until(SimTime::ZERO + cfg.max_sim);
+        for (_, id) in ft.links_by_layer().filter(|&(l, _)| l == LinkLayer::Core) {
+            pc = pc.watch_queue(id, 0).watch_queue(id, 1);
+        }
+        sim.install_probes(pc);
+    }
 
     let pcfg = PatternConfig::new(cfg.scheme, cfg.seed, cfg.scale, usize::MAX);
     let mut pattern = match cfg.pattern {
@@ -361,7 +383,7 @@ pub fn run_suite_counting(cfg: &SuiteConfig) -> (SuiteResult, u64) {
         completed_flows: large_done,
         sim_time: now,
     };
-    (result, sim.events_processed())
+    (result, sim.events_processed(), *sim.profile())
 }
 
 /// Run a batch of suite cells across OS threads.

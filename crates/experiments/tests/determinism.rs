@@ -1,0 +1,171 @@
+//! The probe layer's determinism contract, at the experiment level:
+//!
+//! 1. **Observation never perturbs** — a probed run's simulated clock, flow
+//!    outcomes and conservation audit are bit-identical to the unprobed
+//!    run (only the engine event count differs, by exactly the sampling
+//!    ticks).
+//! 2. **Disabled means absent** — installing probes with a zero horizon
+//!    schedules nothing and the run is fully identical, event count
+//!    included, to one where `install_probes` was never called.
+//! 3. **Exports are tuning-independent** — the `dynamics` JSONL export is
+//!    byte-identical across every `SimTuning` combination (the sampled
+//!    queue depth is defined to agree between the eager and lazy link
+//!    pipelines, and the meta line carries no tuning).
+
+use xmp_des::{Bandwidth, SimDuration, SimTime};
+use xmp_experiments::common::host_stack;
+use xmp_experiments::dynamics::{self, DynamicsConfig};
+use xmp_netsim::{FaultPlan, PortId, ProbeConfig, QdiscConfig, Sim, SimTuning};
+use xmp_topo::Dumbbell;
+use xmp_transport::{Segment, SubflowSpec};
+use xmp_workloads::{Driver, FlowSpecBuilder, Scheme};
+
+const TUNINGS: [SimTuning; 4] = [
+    SimTuning {
+        compiled_fib: false,
+        lazy_links: false,
+        drop_unroutable: false,
+    },
+    SimTuning {
+        compiled_fib: true,
+        lazy_links: false,
+        drop_unroutable: false,
+    },
+    SimTuning {
+        compiled_fib: false,
+        lazy_links: true,
+        drop_unroutable: false,
+    },
+    SimTuning {
+        compiled_fib: true,
+        lazy_links: true,
+        drop_unroutable: false,
+    },
+];
+
+enum Probing {
+    None,
+    ZeroHorizon,
+    Full,
+}
+
+/// A faulted dumbbell run (two bounded DCTCP+XMP flows through a transient
+/// bottleneck outage); returns (final clock, flow records digest, audit
+/// digest, events processed, probe records).
+fn faulted_run(tuning: SimTuning, probing: Probing) -> (u64, String, String, u64, usize) {
+    let mut sim: Sim<Segment> = Sim::new(11);
+    sim.set_tuning(tuning);
+    let db = Dumbbell::build(
+        &mut sim,
+        2,
+        Bandwidth::from_gbps(1),
+        SimDuration::from_micros(225),
+        QdiscConfig::EcnThreshold { cap: 100, k: 10 },
+        |_| host_stack(),
+    );
+    sim.install_fault_plan(
+        &FaultPlan::new()
+            .link_down(SimTime::from_millis(30), db.bottleneck)
+            .link_up(SimTime::from_millis(35), db.bottleneck),
+    );
+    let end = SimTime::from_millis(100);
+    match probing {
+        Probing::None => {}
+        Probing::ZeroHorizon => {
+            sim.install_probes(ProbeConfig::every(SimDuration::from_millis(1)));
+        }
+        Probing::Full => sim.install_probes(
+            ProbeConfig::every(SimDuration::from_millis(1))
+                .until(end)
+                .watch_queue(db.bottleneck, 0)
+                .with_marks(),
+        ),
+    }
+
+    let mut driver = Driver::new();
+    for (i, scheme) in [(0usize, Scheme::xmp(2)), (1usize, Scheme::Dctcp)] {
+        driver.submit(FlowSpecBuilder {
+            src_node: db.sources[i],
+            subflows: (0..scheme.subflow_count())
+                .map(|_| SubflowSpec {
+                    local_port: PortId(0),
+                    src: Dumbbell::src_addr(i),
+                    dst: Dumbbell::dst_addr(i),
+                })
+                .collect(),
+            size: 2_000_000,
+            scheme,
+            start: SimTime::ZERO,
+            category: None,
+            tag: i as u64,
+        });
+    }
+    driver.run(&mut sim, end, |_, _, _| {});
+    driver.finalize_running(&mut sim);
+    let audit = format!("{:?}", sim.audit_conservation());
+    let flows = format!("{:?}", driver.records().collect::<Vec<_>>());
+    let probe_records = sim.take_probes().map_or(0, |p| p.len());
+    (
+        sim.now().as_nanos(),
+        flows,
+        audit,
+        sim.events_processed(),
+        probe_records,
+    )
+}
+
+#[test]
+fn probes_observe_without_perturbing_across_tunings() {
+    for tuning in TUNINGS {
+        let off = faulted_run(tuning, Probing::None);
+        let on = faulted_run(tuning, Probing::Full);
+        assert_eq!(off.0, on.0, "{tuning:?}: clock diverged under probes");
+        assert_eq!(off.1, on.1, "{tuning:?}: flow outcomes diverged");
+        assert_eq!(off.2, on.2, "{tuning:?}: audit diverged");
+        // The only difference is the sampling ticks themselves.
+        assert!(
+            on.3 > off.3,
+            "{tuning:?}: probed run handled no extra events"
+        );
+        assert!(on.4 > 0, "{tuning:?}: probed run recorded nothing");
+        assert_eq!(off.4, 0);
+    }
+}
+
+#[test]
+fn zero_horizon_probes_are_fully_absent() {
+    let never = faulted_run(TUNINGS[3], Probing::None);
+    let zero = faulted_run(TUNINGS[3], Probing::ZeroHorizon);
+    // Bit-identical *including* the event count: a zero sampling horizon
+    // schedules no event at all, the FaultPlan install discipline.
+    assert_eq!(never.0, zero.0);
+    assert_eq!(never.1, zero.1);
+    assert_eq!(never.2, zero.2);
+    assert_eq!(never.3, zero.3, "zero-horizon probes scheduled events");
+    assert_eq!(zero.4, 0);
+}
+
+#[test]
+fn dynamics_export_is_byte_identical_across_tunings() {
+    let export = |tuning: SimTuning| {
+        let cfg = DynamicsConfig {
+            epochs: 60,
+            tuning,
+            ..DynamicsConfig::quick()
+        };
+        dynamics::run(&cfg)
+            .traces
+            .into_iter()
+            .map(|t| t.jsonl)
+            .collect::<Vec<_>>()
+    };
+    let base = export(TUNINGS[0]);
+    assert!(base[0].contains("\"scheme\":\"XMP-2\""));
+    for tuning in &TUNINGS[1..] {
+        assert_eq!(
+            base,
+            export(*tuning),
+            "{tuning:?}: exported series diverged from the baseline pipeline"
+        );
+    }
+}

@@ -36,7 +36,7 @@ pub enum FibEntry {
     /// destination word; the fat-tree ECMP mode shifts for its second
     /// level).
     Hash {
-        /// Offset of the group in [`CompiledFib::groups`].
+        /// Offset of the group in `CompiledFib::groups`.
         off: u32,
         /// Group size (ports).
         len: u16,

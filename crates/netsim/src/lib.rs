@@ -21,6 +21,8 @@
 //! Everything is single-threaded and deterministic: same topology + same
 //! seed ⇒ bit-identical results.
 
+#![warn(missing_docs)]
+
 pub mod addr;
 pub mod agent;
 pub mod fault;
@@ -30,6 +32,7 @@ pub mod link;
 pub mod network;
 pub mod node;
 pub mod packet;
+pub mod probe;
 pub mod queue;
 pub mod routing;
 pub mod stats;
@@ -43,6 +46,7 @@ pub use link::{FaultConfig, LinkId, LinkParams};
 pub use network::{AuditReport, NetEvent, Sim, SimTuning};
 pub use node::{NodeId, PortId};
 pub use packet::{Ecn, FlowId, Packet};
+pub use probe::{CcSnapshot, ProbeConfig, ProbeRecord, Probes, SimProfile};
 pub use queue::{DropTail, EcnThreshold, EnqueueOutcome, Qdisc, QdiscConfig, Red, RedMode};
 pub use routing::{mix64, EcmpRouter, Router, StaticRouter};
 pub use trace::{TraceBuffer, TraceEvent, TraceKind};

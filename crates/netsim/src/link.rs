@@ -111,7 +111,7 @@ impl<P> Direction<P> {
     }
 
     /// Whether the direction is currently failed (see
-    /// [`FaultPlan`](crate::fault::FaultPlan)).
+    /// [`FaultPlan`](crate::FaultPlan)).
     pub fn is_down(&self) -> bool {
         self.down
     }

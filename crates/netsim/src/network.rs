@@ -23,6 +23,7 @@ use crate::hash::FxHashMap;
 use crate::link::{Link, LinkId, LinkParams};
 use crate::node::{Node, NodeId, NodeKind, PortId};
 use crate::packet::{FlowId, Packet};
+use crate::probe::{ProbeConfig, ProbeRecord, Probes, SimProfile};
 use crate::queue::EnqueueOutcome;
 use crate::routing::Router;
 use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
@@ -102,11 +103,14 @@ pub enum NetEvent<P> {
         gen: u64,
     },
     /// A scheduled [`FaultEvent`] from the installed
-    /// [`FaultPlan`](crate::fault::FaultPlan) (index into the timeline).
+    /// [`FaultPlan`] (index into the timeline).
     Fault {
         /// Index into the sim's installed fault timeline.
         idx: u32,
     },
+    /// Periodic probe sampling tick (only ever scheduled by
+    /// [`Sim::install_probes`]; re-schedules itself every interval).
+    Sample,
 }
 
 /// Same-instant tie keys for engine events (see `Engine::schedule_keyed`).
@@ -136,6 +140,11 @@ fn tx_done_key(link: LinkId, dir: u8) -> u64 {
 fn fault_key(idx: u32) -> u64 {
     (3 << 62) | idx as u64
 }
+/// Probe sampling ranks dead last at an instant: a tick at `t` observes the
+/// state *after* every packet, timer and fault effect at `t`, which is what
+/// makes the sampled queue depth identical across the eager and lazy link
+/// pipelines (`u64::MAX` exceeds every `fault_key`, whose index is a u32).
+const SAMPLE_KEY: u64 = u64::MAX;
 
 /// The whole simulation.
 pub struct Sim<P: Payload> {
@@ -158,6 +167,10 @@ pub struct Sim<P: Payload> {
     emit_pool: Vec<Vec<Emit<P>>>,
     rng: SimRng,
     trace: Option<TraceBuffer>,
+    /// Installed time-series probes (`None` = subsystem fully disabled).
+    probes: Option<Probes>,
+    /// Always-on engine-loop profiling counters (pure observation).
+    profile: SimProfile,
     tuning: SimTuning,
     /// Destination index over the address book, built with the FIBs.
     addr_index: Option<AddrIndex>,
@@ -209,6 +222,8 @@ impl<P: Payload> Sim<P> {
             emit_pool: Vec::new(),
             rng: SimRng::new(seed),
             trace: None,
+            probes: None,
+            profile: SimProfile::default(),
             tuning: SimTuning::default(),
             addr_index: None,
             fibs: Vec::new(),
@@ -234,7 +249,16 @@ impl<P: Payload> Sim<P> {
     }
 
     fn take_emit_buf(&mut self) -> Vec<Emit<P>> {
-        self.emit_pool.pop().unwrap_or_default()
+        match self.emit_pool.pop() {
+            Some(buf) => {
+                self.profile.pool_hits += 1;
+                buf
+            }
+            None => {
+                self.profile.pool_misses += 1;
+                Vec::new()
+            }
+        }
     }
 
     /// Turn on packet tracing with a ring buffer of `capacity` events
@@ -254,6 +278,107 @@ impl<P: Payload> Sim<P> {
         self.trace.as_mut()
     }
 
+    /// Install time-series probes and schedule the first sampling tick.
+    ///
+    /// Follows the [`FaultPlan`] discipline: a sim that never calls this
+    /// schedules no `Sample` event, touches no RNG stream, and stays
+    /// bit-identical to a build without the subsystem. With probes
+    /// installed, sampling is ranked after all same-instant traffic
+    /// (`SAMPLE_KEY`) and only *observes* — flow outcomes are unchanged.
+    ///
+    /// # Panics
+    /// Panics if probes are already installed.
+    pub fn install_probes(&mut self, cfg: ProbeConfig) {
+        assert!(self.probes.is_none(), "probes already installed");
+        let p = Probes::new(cfg);
+        let first = self.engine.now() + p.interval;
+        if first <= p.until {
+            self.engine
+                .schedule_keyed(first, SAMPLE_KEY, NetEvent::Sample);
+        }
+        self.probes = Some(p);
+    }
+
+    /// The recorded probe series, if probes are installed.
+    pub fn probes(&self) -> Option<&Probes> {
+        self.probes.as_ref()
+    }
+
+    /// Mutable probe access (drivers push their own records, e.g.
+    /// per-subflow cwnd snapshots).
+    pub fn probes_mut(&mut self) -> Option<&mut Probes> {
+        self.probes.as_mut()
+    }
+
+    /// Remove and return the probes (ends sampling: a still-pending tick
+    /// finds no probes and does not re-schedule).
+    pub fn take_probes(&mut self) -> Option<Probes> {
+        self.probes.take()
+    }
+
+    /// Engine-loop profiling counters (events per kind, pool hit rate,
+    /// wall time per phase). Always on; never part of simulated state.
+    pub fn profile(&self) -> &SimProfile {
+        &self.profile
+    }
+
+    /// Instantaneous backlog of a link direction in packets (queued +
+    /// serializing), consistent across the eager and lazy pipelines at any
+    /// driver-visible instant (run boundaries and probe ticks). A downed
+    /// direction reads zero.
+    pub fn queue_depth(&mut self, link: LinkId, dir: u8) -> usize {
+        let now = self.engine.now();
+        let lazy = self.tuning.lazy_links;
+        let d = self.links[link.0 as usize].dir_mut(dir);
+        if d.down {
+            0
+        } else if lazy {
+            // `run_until`/`advance_to` already retired departures up to the
+            // boundary; a probe tick at `t` flushes `depart <= t` itself,
+            // mirroring the eager pipeline having processed every TxDone
+            // at or before `t` (TxDone ranks before Sample at an instant).
+            d.lazy_flush(now);
+            d.pending.len()
+        } else {
+            d.queue.len() + usize::from(d.in_flight.is_some())
+        }
+    }
+
+    /// One probe sampling tick: record watched queue depths and delivery
+    /// counters, then re-arm unless past the configured end.
+    fn on_sample(&mut self) {
+        let Some(mut p) = self.probes.take() else {
+            return; // probes were taken mid-run; stop sampling
+        };
+        let now = self.engine.now();
+        for i in 0..p.watch.len() {
+            let (link, dir) = p.watch[i];
+            let depth = self.queue_depth(link, dir) as u64;
+            let stats = &self.links[link.0 as usize].dir(dir).stats;
+            p.push(ProbeRecord::Queue {
+                at: now,
+                link: link.0,
+                dir,
+                depth,
+                enqueued: stats.enqueued,
+                marked: stats.marked,
+                dropped: stats.dropped,
+            });
+            p.push(ProbeRecord::Util {
+                at: now,
+                link: link.0,
+                dir,
+                delivered_bytes: stats.delivered_bytes.as_bytes(),
+            });
+        }
+        let next = now + p.interval;
+        if next <= p.until {
+            self.engine
+                .schedule_keyed(next, SAMPLE_KEY, NetEvent::Sample);
+        }
+        self.probes = Some(p);
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.engine.now()
@@ -262,6 +387,12 @@ impl<P: Payload> Sim<P> {
     /// Total events handled so far.
     pub fn events_processed(&self) -> u64 {
         self.engine.processed()
+    }
+
+    /// Total events ever scheduled on the engine (profiling; includes
+    /// stale-cancelled timers and still-pending events).
+    pub fn events_scheduled(&self) -> u64 {
+        self.engine.scheduled()
     }
 
     /// Add an end host running `agent`.
@@ -585,6 +716,7 @@ impl<P: Payload> Sim<P> {
         mut on_signal: impl FnMut(&mut Self, NodeId, u64),
     ) {
         self.compile_fibs();
+        let wall = std::time::Instant::now();
         while let Some((_, ev)) = self.engine.pop_at_or_before(deadline) {
             self.handle(ev);
             while let Some((node, code)) = self.signals.pop_front() {
@@ -595,6 +727,7 @@ impl<P: Payload> Sim<P> {
         // matching lazy departures so stats observed after the run window
         // (and any run that resumes later) see identical samples.
         self.flush_lazy(deadline);
+        self.profile.run_wall_ns += wall.elapsed().as_nanos() as u64;
     }
 
     /// `run_until` ignoring signals.
@@ -617,6 +750,7 @@ impl<P: Payload> Sim<P> {
         if self.fibs_ready {
             return;
         }
+        let wall = std::time::Instant::now();
         if self.tuning.compiled_fib {
             let keys: Vec<u32> = self.addr_book.iter().map(|&(k, _)| k).collect();
             let dsts: Vec<Addr> = self
@@ -638,6 +772,7 @@ impl<P: Payload> Sim<P> {
             self.fibs = (0..self.nodes.len()).map(|_| None).collect();
         }
         self.fibs_ready = true;
+        self.profile.fib_compile_ns += wall.elapsed().as_nanos() as u64;
     }
 
     /// Forwarding decision exactly as the hot path makes it: compiled FIB
@@ -677,15 +812,31 @@ impl<P: Payload> Sim<P> {
 
     fn handle(&mut self, ev: NetEvent<P>) {
         match ev {
-            NetEvent::TxDone { link, dir, gen } => self.on_tx_done(link, dir, gen),
+            NetEvent::TxDone { link, dir, gen } => {
+                self.profile.tx_done += 1;
+                self.on_tx_done(link, dir, gen);
+            }
             NetEvent::Deliver {
                 link,
                 dir,
                 gen,
                 pkt,
-            } => self.on_deliver(link, dir, gen, pkt),
-            NetEvent::Timer { node, token, gen } => self.on_timer(node, token, gen),
-            NetEvent::Fault { idx } => self.on_fault(idx),
+            } => {
+                self.profile.deliver += 1;
+                self.on_deliver(link, dir, gen, pkt);
+            }
+            NetEvent::Timer { node, token, gen } => {
+                self.profile.timer += 1;
+                self.on_timer(node, token, gen);
+            }
+            NetEvent::Fault { idx } => {
+                self.profile.fault += 1;
+                self.on_fault(idx);
+            }
+            NetEvent::Sample => {
+                self.profile.sample += 1;
+                self.on_sample();
+            }
         }
     }
 
@@ -1015,6 +1166,9 @@ impl<P: Payload> Sim<P> {
             d.in_network += 1;
             if outcome == EnqueueOutcome::EnqueuedMarked {
                 d.stats.marked += 1;
+                if let Some(p) = self.probes.as_mut() {
+                    p.on_mark(now, link, dir);
+                }
             }
             if let Some(t) = self.trace.as_mut() {
                 t.record(TraceEvent {
@@ -1070,6 +1224,9 @@ impl<P: Payload> Sim<P> {
                 d.in_network += 1;
                 if outcome == EnqueueOutcome::EnqueuedMarked {
                     d.stats.marked += 1;
+                    if let Some(p) = self.probes.as_mut() {
+                        p.on_mark(now, link, dir);
+                    }
                 }
                 if let Some(t) = self.trace.as_mut() {
                     t.record(TraceEvent {

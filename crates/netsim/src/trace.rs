@@ -108,6 +108,8 @@ pub struct TraceBuffer {
     events: VecDeque<TraceEvent>,
     capacity: usize,
     recorded: u64,
+    /// Events pushed out of the ring by capacity overflow.
+    evicted: u64,
     /// Cumulative post-filter counts per [`TraceKind`]; unlike the retained
     /// events these survive ring eviction.
     counts: [u64; TRACE_KINDS],
@@ -125,26 +127,34 @@ impl TraceBuffer {
             events: VecDeque::with_capacity(capacity.min(1 << 16)),
             capacity,
             recorded: 0,
+            evicted: 0,
             counts: [0; TRACE_KINDS],
             only_link: None,
             only_flow: None,
         }
     }
 
-    /// Record an event (applies the filters; evicts the oldest on overflow).
-    pub fn record(&mut self, ev: TraceEvent) {
+    /// Record an event (applies the filters; evicts the oldest on
+    /// overflow). Returns `false` when the ring was full and an older
+    /// event was evicted to make room — callers that must not lose history
+    /// can assert on it; the lost count also shows up in
+    /// [`TraceBuffer::evicted`] and at the end of [`TraceBuffer::render`].
+    pub fn record(&mut self, ev: TraceEvent) -> bool {
         if self.only_link.is_some_and(|l| l != ev.link) {
-            return;
+            return true; // filtered out, nothing lost
         }
         if self.only_flow.is_some_and(|f| f != ev.flow) {
-            return;
+            return true;
         }
-        if self.events.len() == self.capacity {
+        let overflow = self.events.len() == self.capacity;
+        if overflow {
             self.events.pop_front();
+            self.evicted += 1;
         }
         self.events.push_back(ev);
         self.recorded += 1;
         self.counts[ev.kind.idx()] += 1;
+        !overflow
     }
 
     /// Cumulative count of recorded events of `kind` (post-filter; includes
@@ -173,12 +183,25 @@ impl TraceBuffer {
         self.recorded
     }
 
-    /// Render the retained events as text, one per line.
+    /// Events lost to ring eviction (recorded but no longer retained).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Render the retained events as text, one per line; a trailing line
+    /// reports events lost to ring eviction, so truncated output can't be
+    /// mistaken for the full history.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for ev in &self.events {
             out.push_str(&ev.to_string());
             out.push('\n');
+        }
+        if self.evicted > 0 {
+            out.push_str(&format!(
+                "... {} earlier event(s) evicted (ring capacity {})\n",
+                self.evicted, self.capacity
+            ));
         }
         out
     }
@@ -203,13 +226,37 @@ mod tests {
     #[test]
     fn ring_buffer_evicts_oldest() {
         let mut t = TraceBuffer::new(3);
-        for i in 0..5 {
-            t.record(ev(i, 0, 1, TraceKind::Enqueue));
+        for i in 0..3 {
+            assert!(t.record(ev(i, 0, 1, TraceKind::Enqueue)), "no eviction yet");
+        }
+        for i in 3..5 {
+            assert!(
+                !t.record(ev(i, 0, 1, TraceKind::Enqueue)),
+                "overflow must be signalled"
+            );
         }
         assert_eq!(t.len(), 3);
         assert_eq!(t.recorded_total(), 5);
+        assert_eq!(t.evicted(), 2);
         let first = t.events().next().unwrap();
         assert_eq!(first.at.as_nanos(), 2);
+    }
+
+    #[test]
+    fn render_reports_evicted_count() {
+        let mut t = TraceBuffer::new(2);
+        for i in 0..5 {
+            t.record(ev(i, 0, 1, TraceKind::Enqueue));
+        }
+        let s = t.render();
+        assert_eq!(s.lines().count(), 3, "{s}");
+        assert!(s.contains("3 earlier event(s) evicted"), "{s}");
+        // Filtered-out events are not evictions and don't flip the flag.
+        let mut q = TraceBuffer::new(1);
+        q.only_link = Some(LinkId(9));
+        assert!(q.record(ev(0, 1, 1, TraceKind::Enqueue)));
+        assert_eq!(q.evicted(), 0);
+        assert!(!q.render().contains("evicted"));
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub use reno::Reno;
 
 use crate::segment::EchoMode;
 use xmp_des::{SimDuration, SimTime};
+/// Re-exported from `xmp-netsim` so controllers and the probe serializer
+/// share one snapshot type (see [`CongestionControl::probe`]).
+pub use xmp_netsim::CcSnapshot;
 
 /// Minimum congestion window (packets) used by all algorithms after a cut.
 pub const MIN_CWND: f64 = 2.0;
@@ -130,6 +133,16 @@ pub trait CongestionControl: Send {
     /// subflow `r`, if the algorithm tracks rounds (XMP/BOS do — it is
     /// the empirical form of the paper's p(t)).
     fn observed_round_p(&self, r: usize) -> Option<f64> {
+        let _ = r;
+        None
+    }
+
+    /// Diagnostic: snapshot of subflow `r`'s round bookkeeping for
+    /// time-series probes — the paper's Fig. 2 NORMAL/REDUCED state, the
+    /// TraSh gain δ, and the round/reduction counters. `None` (the
+    /// default) for algorithms without round state; XMP and BOS implement
+    /// it. Pure observation: must not mutate or allocate per call.
+    fn probe(&self, r: usize) -> Option<CcSnapshot> {
         let _ = r;
         None
     }

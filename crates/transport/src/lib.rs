@@ -29,7 +29,7 @@ pub mod segment;
 pub mod sender;
 pub mod stack;
 
-pub use cc::{AckInfo, CongestionControl, Dctcp, Lia, Olia, Reno, SubflowCc, MIN_CWND};
+pub use cc::{AckInfo, CcSnapshot, CongestionControl, Dctcp, Lia, Olia, Reno, SubflowCc, MIN_CWND};
 pub use config::StackConfig;
 pub use receiver::{MpReceiver, ReplyPath, RxAction};
 pub use rtt::RttEstimator;

@@ -7,7 +7,7 @@ use std::collections::{BTreeMap, HashMap};
 use xmp_des::{SimDuration, SimTime};
 use xmp_netsim::{NodeId, Sim};
 use xmp_topo::FlowCategory;
-use xmp_transport::{ConnKey, HostStack, Segment, SubflowSpec};
+use xmp_transport::{CcSnapshot, ConnKey, HostStack, Segment, SubflowSpec};
 
 /// Record of one flow's life.
 #[derive(Debug, Clone)]
@@ -279,6 +279,35 @@ impl Driver {
         }
     }
 
+    /// Instantaneous per-subflow state of a running flow: window,
+    /// threshold, SRTT and — for round-based controllers (XMP/BOS) — the
+    /// Fig. 2 round bookkeeping. Empty if the flow is unknown or closed.
+    /// Pure observation: drives the probe layer's cwnd time series without
+    /// perturbing the flow.
+    pub fn subflow_snapshots(&self, sim: &mut Sim<Segment>, conn: ConnKey) -> Vec<SubflowSnapshot> {
+        let Some(rec) = self.records.get(&conn) else {
+            return Vec::new();
+        };
+        sim.with_agent::<HostStack, _>(rec.src_node, |stack, _| {
+            let Some(sender) = stack.sender(conn) else {
+                return Vec::new();
+            };
+            let cc = sender.cc();
+            sender
+                .view()
+                .iter()
+                .enumerate()
+                .map(|(r, sub)| SubflowSnapshot {
+                    subflow: r,
+                    cwnd: sub.cwnd,
+                    ssthresh: sub.ssthresh,
+                    srtt_ns: sub.srtt.map(|d| d.as_nanos()),
+                    cc: cc.probe(r),
+                })
+                .collect()
+        })
+    }
+
     /// Bytes acknowledged so far on one subflow of a running flow.
     pub fn subflow_acked(&self, sim: &mut Sim<Segment>, conn: ConnKey, r: usize) -> u64 {
         let Some(rec) = self.records.get(&conn) else {
@@ -290,6 +319,23 @@ impl Driver {
                 .map_or(0, |s| s.subflow_acked(r.min(s.subflow_count() - 1)))
         })
     }
+}
+
+/// One subflow's instantaneous congestion state, as returned by
+/// [`Driver::subflow_snapshots`] (the probe layer's cwnd series rows).
+#[derive(Debug, Clone)]
+pub struct SubflowSnapshot {
+    /// Subflow index within the connection.
+    pub subflow: usize,
+    /// Congestion window (packets).
+    pub cwnd: f64,
+    /// Slow-start threshold (packets; `INFINITY` before the first cut).
+    pub ssthresh: f64,
+    /// Smoothed RTT in nanoseconds, if measured.
+    pub srtt_ns: Option<u64>,
+    /// Round bookkeeping for round-based controllers (XMP/BOS), else
+    /// `None`.
+    pub cc: Option<CcSnapshot>,
 }
 
 /// Samples per-subflow rates between calls — the paper's normalized-rate

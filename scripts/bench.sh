@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Perf snapshot: builds the bench runners in release mode and writes
-# BENCH_pr1.json, BENCH_pr2.json and BENCH_pr3.json into the repo root.
+# BENCH_pr1.json through BENCH_pr4.json into the repo root.
 #
 #   bench_pr1 — scheduler microbench wheel-vs-heap, scaled-down fig1 and
 #               table1 wall clocks, serial-vs-parallel suite
@@ -8,6 +8,8 @@
 #               {eager, lazy link pipeline} on fig1 and a table1 cell
 #   bench_pr3 — fault-machinery overhead (empty plan) vs the committed
 #               BENCH_pr2.json, plus the failover experiment itself
+#   bench_pr4 — probe overhead (off vs 1 ms core-link sampling) on the
+#               suite cell, engine profile counters, dynamics timing
 #
 # The per-figure benches remain runnable individually via
 #   cargo bench --bench fig1   (etc.)
@@ -21,3 +23,5 @@ echo "bench.sh: wrote $(pwd)/BENCH_pr1.json"
 echo "bench.sh: wrote $(pwd)/BENCH_pr2.json"
 ./target/release/bench_pr3
 echo "bench.sh: wrote $(pwd)/BENCH_pr3.json"
+./target/release/bench_pr4
+echo "bench.sh: wrote $(pwd)/BENCH_pr4.json"

@@ -6,7 +6,20 @@ cd "$(dirname "$0")/.."
 
 cargo build --workspace --release --offline
 cargo test -q --workspace --offline
+# Rustdoc gate: every pub item documented, no broken intra-doc links.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 # Smoke: the failover experiment must survive a mid-run link failure
 # (and its packet-conservation audit) end to end.
 cargo run --release --offline -p xmp-experiments -- failover --quick
+# Smoke: dynamics must export parseable JSONL traces, and `trace report`
+# (the std-only checker) must round-trip them. results/ stays untracked.
+cargo run --release --offline -p xmp-experiments -- dynamics --quick
+cargo run --release --offline -p xmp-experiments -- trace report \
+  results/dynamics_xmp-2.jsonl results/dynamics_dctcp.jsonl
+if git check-ignore -q results/dynamics_xmp-2.jsonl; then
+  : # exported artifacts are ignored, as intended
+else
+  echo "check.sh: results/ must be gitignored" >&2
+  exit 1
+fi
 echo "check.sh: all green"
