@@ -63,7 +63,7 @@ fn pr2_ms(doc: &str, section: &str, combo: &str, field: &str) -> Option<f64> {
     let colon = m + doc[m..].find(':')?;
     let rest = &doc[colon + 1..];
     let end = rest
-        .find(|ch: char| ch == ',' || ch == '}')
+        .find([',', '}'])
         .unwrap_or(rest.len());
     rest[..end].trim().parse().ok()
 }

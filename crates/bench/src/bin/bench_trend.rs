@@ -1,0 +1,117 @@
+//! Cross-PR perf trend: one table over every committed `BENCH_pr*.json`.
+//!
+//! Each snapshot from PR 2 onward carries a `table1_cell_quick` section
+//! with an identical workload (quick k = 4 suite cell, 16 flows, XMP-2 /
+//! Permutation) per `SimTuning` combo, so their medians line up as a
+//! longitudinal series. The table prints one row per snapshot and one
+//! column per combo, plus the ratio of each cell to the previous
+//! snapshot's. Run from the repo root (`scripts/bench.sh` does).
+//!
+//! Caveat printed with the table: snapshots were recorded on whatever host
+//! ran the PR, sometimes under heavy contention — cross-PR ratios mix real
+//! speedups with host drift. Same-file ratios (e.g. `boxed_over_static_min`
+//! in `BENCH_pr5.json`) are the noise-immune measurements.
+
+const COMBOS: [&str; 4] = [
+    "dynamic_eager",
+    "compiled_eager",
+    "dynamic_lazy",
+    "compiled_lazy",
+];
+
+/// Scan `doc` for `section.combo.<field>` without a JSON parser (the
+/// workspace has none, by design; same scanner as the `bench_pr*` runners).
+fn prior_ms(doc: &str, section: &str, combo: &str, field: &str) -> Option<f64> {
+    let s = doc.find(&format!("\"{section}\""))?;
+    let c = s + doc[s..].find(&format!("\"{combo}\""))?;
+    let m = c + doc[c..].find(&format!("\"{field}\""))?;
+    let colon = m + doc[m..].find(':')?;
+    let rest = &doc[colon + 1..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Pull a string field out of the snapshot's `"host"` metadata block.
+fn host_str(doc: &str, field: &str) -> Option<String> {
+    let h = doc.find("\"host\"")?;
+    let m = h + doc[h..].find(&format!("\"{field}\""))?;
+    let colon = m + doc[m..].find(':')?;
+    let rest = doc[colon + 1..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next().map(str::to_string)
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().to_string())
+    }
+}
+
+fn main() {
+    // Fixed candidate range rather than a directory scan: deterministic
+    // order, and missing snapshots simply drop out of the table.
+    let snapshots: Vec<(String, String)> = (1..=99)
+        .filter_map(|i| {
+            let name = format!("BENCH_pr{i}.json");
+            std::fs::read_to_string(&name).ok().map(|doc| (name, doc))
+        })
+        .collect();
+    if snapshots.is_empty() {
+        eprintln!("bench_trend: no BENCH_pr*.json in the current directory");
+        std::process::exit(1);
+    }
+
+    println!("table1_cell_quick median_ms across PR snapshots");
+    println!("(quick k=4 suite cell, 16 flows, XMP-2 / Permutation; x-prev in parens)");
+    print!("{:<16}", "snapshot");
+    for combo in COMBOS {
+        print!("{combo:>24}");
+    }
+    println!();
+
+    let mut prev: [Option<f64>; 4] = [None; 4];
+    let mut printed = 0;
+    for (name, doc) in &snapshots {
+        let row: Vec<Option<f64>> = COMBOS
+            .iter()
+            .map(|combo| prior_ms(doc, "table1_cell_quick", combo, "median_ms"))
+            .collect();
+        if row.iter().all(Option::is_none) {
+            continue; // predates the shared section (e.g. BENCH_pr1.json)
+        }
+        print!("{name:<16}");
+        for (slot, cell) in prev.iter_mut().zip(&row) {
+            match cell {
+                Some(ms) => {
+                    let vs = match slot {
+                        Some(p) => format!(" ({:.2}x)", *p / ms),
+                        None => String::new(),
+                    };
+                    print!("{:>24}", format!("{ms:8.1} ms{vs}"));
+                    *slot = Some(*ms);
+                }
+                None => print!("{:>24}", "-"),
+            }
+        }
+        let host = [
+            host_str(doc, "git_rev").map(|v| format!("rev {v}")),
+            host_str(doc, "parallelism").map(|v| format!("{v} cpu")),
+            host_str(doc, "rustc")
+                .map(|v| v.split_whitespace().take(2).collect::<Vec<_>>().join(" ")),
+        ]
+        .into_iter()
+        .flatten()
+        .collect::<Vec<_>>()
+        .join(", ");
+        println!("   [{host}]");
+        printed += 1;
+    }
+    if printed == 0 {
+        eprintln!("bench_trend: no snapshot carries a table1_cell_quick section");
+        std::process::exit(1);
+    }
+    println!(
+        "note: snapshots come from different sessions on a shared host; \
+         cross-PR ratios mix real speedups with host drift. Trust \
+         same-file ratios (BENCH_pr5.json boxed_over_static_min) for \
+         dispatch comparisons."
+    );
+}

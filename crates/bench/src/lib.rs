@@ -12,8 +12,49 @@
 //! output still contains the regenerated rows) and then measures the run
 //! through [`measure`].
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// How many heap allocations the process has performed (when
+/// [`CountingAlloc`] is installed as the global allocator; always 0
+/// otherwise). Signature matches `xmp_netsim::set_alloc_probe`, so the
+/// engine can attribute allocations to event-loop windows.
+pub fn alloc_count() -> u64 {
+    ALLOC_COUNT.load(Ordering::Relaxed)
+}
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// A counting wrapper over the system allocator, for bench binaries only
+/// (`#[global_allocator] static A: CountingAlloc = CountingAlloc;`).
+/// Counts every `alloc`/`alloc_zeroed`/`realloc` — frees are not counted,
+/// since the zero-allocation claim is about *acquiring* memory on the hot
+/// path. The counter is process-global and monotone; callers diff
+/// [`alloc_count`] across a window.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
 
 /// Trial-count configuration. A single iteration here is a whole
 /// simulation, so counts stay small (Criterion's `sample_size(10)`

@@ -32,10 +32,12 @@
 
 pub mod analysis;
 pub mod bos;
+pub mod kind;
 pub mod params;
 pub mod trash;
 pub mod xmp;
 
 pub use bos::{Bos, EcnState, RoundState};
+pub use kind::CcKind;
 pub use params::XmpParams;
 pub use xmp::Xmp;

@@ -18,8 +18,10 @@
 //! timers) sit hundreds of milliseconds out:
 //!
 //! * **Near future** — a wheel of `WHEEL_SLOTS` buckets, each covering
-//!   `BUCKET_NS` nanoseconds. A bucket is an unsorted `Vec`; push is O(1).
-//!   The wheel is a *sliding window* over absolute bucket indices
+//!   `BUCKET_NS` nanoseconds. A bucket is an unsorted intrusive list of
+//!   nodes in a shared slab (see [`EventQueue`]); push is O(1) and
+//!   allocation-free once the slab reaches its high-water size. The wheel
+//!   is a *sliding window* over absolute bucket indices
 //!   `[cursor, cursor + WHEEL_SLOTS)`; slot `abs % WHEEL_SLOTS` is unique
 //!   within the window.
 //! * **Current bucket** — when the cursor reaches a bucket its events are
@@ -98,14 +100,38 @@ fn abs_bucket(at: SimTime) -> u64 {
     at.as_nanos() >> BUCKET_SHIFT
 }
 
+/// Sentinel index terminating a slot's node list / the freelist.
+const NIL: u32 = u32::MAX;
+
+/// One slab entry: an event linked into a wheel slot's LIFO list, or a
+/// freelist entry (`ev == None`) awaiting reuse.
+#[derive(Debug)]
+struct Node<E> {
+    ev: Option<ScheduledEvent<E>>,
+    next: u32,
+}
+
 /// A deterministic min-priority queue of timestamped events
 /// (timing-wheel implementation; see the module docs).
+///
+/// Wheel storage is a **slab with an intrusive freelist**: each slot holds
+/// the head index of a singly linked list of nodes in one shared `Vec`.
+/// Hot buckets drift across slots as simulated time advances (a cluster of
+/// synchronized serialization completions lands 64 ns later every round),
+/// so per-slot growable buffers re-grow forever; the slab instead quiesces
+/// at the *global* high-water event population, after which scheduling
+/// never touches the allocator (the steady-state guarantee `bench_pr5`
+/// asserts).
 #[derive(Debug)]
 pub struct EventQueue<E> {
     /// Sorted heap over the cursor's bucket: the globally earliest events.
     current: BinaryHeap<ScheduledEvent<E>>,
-    /// Near-future buckets, unsorted; slot = absolute bucket % WHEEL_SLOTS.
-    wheel: Vec<Vec<ScheduledEvent<E>>>,
+    /// Slab of wheel nodes; freelist threads through `ev == None` entries.
+    nodes: Vec<Node<E>>,
+    /// Head of the freelist (`NIL` when the slab is full).
+    free_head: u32,
+    /// Per-slot list head; slot = absolute bucket % WHEEL_SLOTS.
+    slots: Box<[u32]>,
     /// One bit per non-empty wheel slot.
     bitmap: [u64; BITMAP_WORDS],
     /// One bit per non-zero bitmap word (jump table for sparse wheels).
@@ -129,7 +155,9 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             current: BinaryHeap::new(),
-            wheel: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            nodes: Vec::new(),
+            free_head: NIL,
+            slots: vec![NIL; WHEEL_SLOTS].into_boxed_slice(),
             bitmap: [0; BITMAP_WORDS],
             summary: [0; BITMAP_WORDS.div_ceil(64)],
             overflow: BinaryHeap::new(),
@@ -154,11 +182,27 @@ impl<E> EventQueue<E> {
     }
 
     /// Place an event whose bucket lies inside the window `(cursor, cursor +
-    /// WHEEL_SLOTS)` into its wheel slot.
+    /// WHEEL_SLOTS)` into its wheel slot: pull a node off the freelist (or
+    /// extend the slab while still below high-water) and link it in at the
+    /// slot's head.
     #[inline]
     fn place_in_wheel(&mut self, ev: ScheduledEvent<E>) {
         let slot = (abs_bucket(ev.at) & SLOT_MASK) as usize;
-        self.wheel[slot].push(ev);
+        let head = self.slots[slot];
+        let idx = if self.free_head != NIL {
+            let i = self.free_head;
+            let node = &mut self.nodes[i as usize];
+            debug_assert!(node.ev.is_none(), "freelist node still occupied");
+            self.free_head = node.next;
+            *node = Node { ev: Some(ev), next: head };
+            i
+        } else {
+            let i = u32::try_from(self.nodes.len()).expect("wheel slab exceeds u32 indices");
+            assert!(i != NIL, "wheel slab exceeds u32 indices");
+            self.nodes.push(Node { ev: Some(ev), next: head });
+            i
+        };
+        self.slots[slot] = idx;
         self.mark_slot(slot);
     }
 
@@ -256,18 +300,34 @@ impl<E> EventQueue<E> {
             let ev = self.overflow.pop().expect("peeked");
             self.place_in_wheel(ev);
         }
-        // Load the cursor bucket: sort once, then heapify (O(n) From<Vec>).
+        // Load the cursor bucket: unlink its node list straight into the
+        // recycled backing vec of the (empty) `current` heap, returning the
+        // nodes to the freelist, then sort once and heapify in place
+        // (`BinaryHeap::from` is O(n) and reuses the vec's buffer). One
+        // move per event, no intermediate buffer; the heap's capacity and
+        // the slab both quiesce at their high-water marks — a warmed-up
+        // steady state never touches the allocator.
         let slot = (self.cursor & SLOT_MASK) as usize;
-        let mut bucket = std::mem::take(&mut self.wheel[slot]);
         self.clear_slot(slot);
-        debug_assert!(!bucket.is_empty(), "advanced to an empty bucket");
-        bucket.sort_unstable_by(|a, b| {
+        let mut v = std::mem::take(&mut self.current).into_vec();
+        debug_assert!(v.is_empty());
+        let Self { nodes, slots, free_head, .. } = self;
+        let mut i = std::mem::replace(&mut slots[slot], NIL);
+        debug_assert!(i != NIL, "advanced to an empty bucket");
+        while i != NIL {
+            let node = &mut nodes[i as usize];
+            v.push(node.ev.take().expect("slot list node occupied"));
+            let next = node.next;
+            node.next = *free_head;
+            *free_head = i;
+            i = next;
+        }
+        v.sort_unstable_by(|a, b| {
             a.at.cmp(&b.at)
                 .then_with(|| a.key.cmp(&b.key))
                 .then_with(|| a.seq.cmp(&b.seq))
         });
-        // Already sorted ascending; BinaryHeap::from is O(n) regardless.
-        self.current = BinaryHeap::from(bucket);
+        self.current = BinaryHeap::from(v);
         true
     }
 
@@ -312,7 +372,15 @@ impl<E> EventQueue<E> {
             let slot = (b & SLOT_MASK) as usize;
             // The earliest bucket's minimum is the global minimum: overflow
             // events live at least a full window later.
-            return self.wheel[slot].iter().map(|e| e.at).min();
+            let mut i = self.slots[slot];
+            let mut best: Option<SimTime> = None;
+            while i != NIL {
+                let node = &self.nodes[i as usize];
+                let at = node.ev.as_ref().expect("slot list node occupied").at;
+                best = Some(best.map_or(at, |b| b.min(at)));
+                i = node.next;
+            }
+            return best;
         }
         self.overflow.peek().map(|e| e.at)
     }

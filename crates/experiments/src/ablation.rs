@@ -20,7 +20,7 @@ use xmp_des::{Bandwidth, SimDuration, SimTime};
 use xmp_netsim::{PortId, QdiscConfig, Sim};
 use xmp_topo::Dumbbell;
 use xmp_transport::{Segment, SubflowSpec};
-use xmp_workloads::{jain_index, Driver, FlowSpecBuilder, RateSampler, Scheme};
+use xmp_workloads::{jain_index, Driver, FlowSpecBuilder, Host, RateSampler, Scheme};
 
 /// Configuration for the ablation suite.
 #[derive(Clone, Debug)]
@@ -102,7 +102,7 @@ pub struct AblationResult {
 /// Four single-path XMP flows on a 1 Gbps / 400 µs dumbbell at (β, K).
 fn sweep_point(cfg: &AblationConfig, beta: u32, k: usize) -> SweepPoint {
     let bdp_packets = 33.0; // 1 Gbps x 400 us / 1500 B
-    let mut sim: Sim<Segment> = Sim::new(cfg.seed);
+    let mut sim: Sim<Segment, Host> = Sim::new(cfg.seed);
     let db = Dumbbell::build(
         &mut sim,
         4,
@@ -163,7 +163,7 @@ fn sweep_point(cfg: &AblationConfig, beta: u32, k: usize) -> SweepPoint {
 /// The coupling ablation on a 300 Mbps bottleneck: a 3-subflow flow vs
 /// three single-path XMP flows; returns the multi-subflow flow's share.
 fn coupling_share(cfg: &AblationConfig, coupled: bool) -> f64 {
-    let mut sim: Sim<Segment> = Sim::new(cfg.seed);
+    let mut sim: Sim<Segment, Host> = Sim::new(cfg.seed);
     let db = Dumbbell::build(
         &mut sim,
         4,

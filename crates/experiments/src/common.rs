@@ -2,10 +2,14 @@
 
 use std::fmt;
 use xmp_transport::{HostStack, StackConfig};
+use xmp_workloads::Host;
 
-/// Standard host agent for experiments.
-pub fn host_stack() -> Box<HostStack> {
-    Box::new(HostStack::new(StackConfig::default()))
+/// Standard host agent for experiments: a [`HostStack`] over the
+/// statically dispatched [`xmp_core::CcKind`] controllers, stored inline
+/// in the simulation (`Sim<Segment, Host>`) so the packet hot path is
+/// fully devirtualized.
+pub fn host_stack() -> Host {
+    HostStack::new(StackConfig::default())
 }
 
 /// A simple aligned text table (the experiment reports are plain text, one

@@ -23,7 +23,7 @@ use xmp_des::{Bandwidth, SimDuration, SimTime};
 use xmp_netsim::{AuditReport, PortId, ProbeConfig, ProbeRecord, QdiscConfig, Sim, SimTuning};
 use xmp_topo::Dumbbell;
 use xmp_transport::{Segment, SubflowSpec};
-use xmp_workloads::{Driver, FlowSpecBuilder, Scheme};
+use xmp_workloads::{Driver, FlowSpecBuilder, Host, Scheme};
 
 /// Experiment configuration.
 #[derive(Clone, Debug)]
@@ -99,7 +99,7 @@ pub struct DynamicsResult {
 }
 
 fn run_scheme(cfg: &DynamicsConfig, scheme: Scheme) -> DynamicsTrace {
-    let mut sim: Sim<Segment> = Sim::new(cfg.seed);
+    let mut sim: Sim<Segment, Host> = Sim::new(cfg.seed);
     sim.set_tuning(cfg.tuning);
     let db = Dumbbell::build(
         &mut sim,
@@ -142,7 +142,7 @@ fn run_scheme(cfg: &DynamicsConfig, scheme: Scheme) -> DynamicsTrace {
         let at = sim.now();
         let snaps = driver.subflow_snapshots(&mut sim, conn);
         if let Some(p) = sim.probes_mut() {
-            for s in &snaps {
+            for s in snaps {
                 p.push(ProbeRecord::Cwnd {
                     at,
                     conn,

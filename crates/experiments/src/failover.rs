@@ -22,7 +22,7 @@ use xmp_des::{SimDuration, SimTime};
 use xmp_netsim::{AuditReport, FaultPlan, PortId, QdiscConfig, Sim, SimTuning};
 use xmp_topo::{FatTree, FatTreeConfig};
 use xmp_transport::{Segment, SubflowSpec};
-use xmp_workloads::{Driver, FlowSpecBuilder, RateSampler, Scheme};
+use xmp_workloads::{Driver, FlowSpecBuilder, Host, RateSampler, Scheme};
 
 /// Experiment configuration.
 #[derive(Clone, Debug)]
@@ -103,7 +103,7 @@ pub struct FailoverResult {
 }
 
 fn run_scheme(cfg: &FailoverConfig, scheme: Scheme) -> SchemeRow {
-    let mut sim: Sim<Segment> = Sim::new(cfg.seed);
+    let mut sim: Sim<Segment, Host> = Sim::new(cfg.seed);
     sim.set_tuning(cfg.tuning);
     let ft_cfg = FatTreeConfig {
         k: 4,

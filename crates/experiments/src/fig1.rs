@@ -17,7 +17,7 @@ use xmp_des::{Bandwidth, SimDuration, SimTime};
 use xmp_netsim::{PortId, QdiscConfig, Sim, SimTuning};
 use xmp_topo::Dumbbell;
 use xmp_transport::{ConnKey, Segment, SubflowSpec};
-use xmp_workloads::{jain_index, Driver, FlowSpecBuilder, RateSampler, Scheme};
+use xmp_workloads::{jain_index, Driver, FlowSpecBuilder, Host, RateSampler, Scheme};
 
 /// Experiment configuration.
 #[derive(Clone, Debug)]
@@ -87,7 +87,7 @@ fn active_in_epoch(e: usize) -> Vec<usize> {
 }
 
 fn run_variant(cfg: &Fig1Config, label: &str, scheme: Scheme, k: usize) -> (Fig1Series, u64) {
-    let mut sim: Sim<Segment> = Sim::new(cfg.seed);
+    let mut sim: Sim<Segment, Host> = Sim::new(cfg.seed);
     sim.set_tuning(cfg.tuning);
     let db = Dumbbell::build(
         &mut sim,

@@ -13,7 +13,7 @@ use xmp_des::{SimDuration, SimTime};
 use xmp_netsim::Sim;
 use xmp_topo::testbed::{Path, ShiftTestbed, TestbedConfig};
 use xmp_transport::{ConnKey, Segment, SubflowSpec};
-use xmp_workloads::{Driver, FlowSpecBuilder, RateSampler, Scheme};
+use xmp_workloads::{Driver, FlowSpecBuilder, Host, RateSampler, Scheme};
 
 /// Experiment configuration.
 #[derive(Clone, Debug)]
@@ -78,7 +78,7 @@ fn to_spec(p: Path) -> SubflowSpec {
 }
 
 fn run_beta(cfg: &Fig4Config, beta: u32) -> Fig4Series {
-    let mut sim: Sim<Segment> = Sim::new(cfg.seed);
+    let mut sim: Sim<Segment, Host> = Sim::new(cfg.seed);
     let tcfg = TestbedConfig::default();
     let tb = ShiftTestbed::build(&mut sim, &tcfg, |_| host_stack());
     let capacity = tcfg.bandwidth.as_bps() as f64;

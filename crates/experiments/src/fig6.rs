@@ -12,7 +12,7 @@ use xmp_des::{SimDuration, SimTime};
 use xmp_netsim::Sim;
 use xmp_topo::testbed::{FairnessTestbed, TestbedConfig};
 use xmp_transport::{ConnKey, Segment, SubflowSpec};
-use xmp_workloads::{jain_index, Driver, FlowSpecBuilder, RateSampler, Scheme};
+use xmp_workloads::{jain_index, Driver, FlowSpecBuilder, Host, RateSampler, Scheme};
 
 /// Experiment configuration.
 #[derive(Clone, Debug)]
@@ -88,7 +88,7 @@ fn active_in_epoch(e: usize) -> Vec<usize> {
 }
 
 fn run_beta(cfg: &Fig6Config, beta: u32) -> Fig6Series {
-    let mut sim: Sim<Segment> = Sim::new(cfg.seed);
+    let mut sim: Sim<Segment, Host> = Sim::new(cfg.seed);
     let tcfg = TestbedConfig::default();
     let tb = FairnessTestbed::build(&mut sim, &tcfg, |_| host_stack());
     let capacity = tcfg.bandwidth.as_bps() as f64;

@@ -19,7 +19,7 @@ use xmp_netsim::Sim;
 use xmp_topo::testbed::Path;
 use xmp_topo::torus::{Torus, TorusConfig, CAPACITIES_GBPS, RING};
 use xmp_transport::{ConnKey, Segment, SubflowSpec};
-use xmp_workloads::{Driver, FlowSpecBuilder, RateSampler, Scheme};
+use xmp_workloads::{Driver, FlowSpecBuilder, Host, RateSampler, Scheme};
 
 /// Experiment configuration.
 #[derive(Clone, Debug)]
@@ -81,7 +81,7 @@ fn to_spec(p: Path) -> SubflowSpec {
 }
 
 fn run_variant(cfg: &Fig7Config, beta: u32, k: usize) -> Fig7Series {
-    let mut sim: Sim<Segment> = Sim::new(cfg.seed);
+    let mut sim: Sim<Segment, Host> = Sim::new(cfg.seed);
     let torus = Torus::build(
         &mut sim,
         &TorusConfig {

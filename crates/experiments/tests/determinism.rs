@@ -18,7 +18,7 @@ use xmp_experiments::dynamics::{self, DynamicsConfig};
 use xmp_netsim::{FaultPlan, PortId, ProbeConfig, QdiscConfig, Sim, SimTuning};
 use xmp_topo::Dumbbell;
 use xmp_transport::{Segment, SubflowSpec};
-use xmp_workloads::{Driver, FlowSpecBuilder, Scheme};
+use xmp_workloads::{Driver, FlowSpecBuilder, Host, Scheme};
 
 const TUNINGS: [SimTuning; 4] = [
     SimTuning {
@@ -53,7 +53,7 @@ enum Probing {
 /// bottleneck outage); returns (final clock, flow records digest, audit
 /// digest, events processed, probe records).
 fn faulted_run(tuning: SimTuning, probing: Probing) -> (u64, String, String, u64, usize) {
-    let mut sim: Sim<Segment> = Sim::new(11);
+    let mut sim: Sim<Segment, Host> = Sim::new(11);
     sim.set_tuning(tuning);
     let db = Dumbbell::build(
         &mut sim,

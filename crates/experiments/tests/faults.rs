@@ -7,18 +7,16 @@ use xmp_des::SimTime;
 use xmp_netsim::{FaultPlan, PortId, QdiscConfig, Sim};
 use xmp_topo::{FatTree, FatTreeConfig};
 use xmp_transport::{ConnKey, Segment, SubflowSpec};
-use xmp_workloads::{Driver, FlowSpecBuilder, RateSampler, Scheme};
+use xmp_workloads::{Driver, FlowSpecBuilder, Host, RateSampler, Scheme};
 
-fn build_k4(seed: u64) -> (Sim<Segment>, FatTree) {
-    let mut sim: Sim<Segment> = Sim::new(seed);
+fn build_k4(seed: u64) -> (Sim<Segment, Host>, FatTree) {
+    let mut sim: Sim<Segment, Host> = Sim::new(seed);
     let cfg = FatTreeConfig {
         k: 4,
         ..FatTreeConfig::paper(QdiscConfig::EcnThreshold { cap: 100, k: 10 })
     };
     let ft = FatTree::build(&mut sim, &cfg, |_| {
-        Box::new(xmp_transport::HostStack::new(
-            xmp_transport::StackConfig::default(),
-        ))
+        xmp_transport::HostStack::new(xmp_transport::StackConfig::default())
     });
     (sim, ft)
 }

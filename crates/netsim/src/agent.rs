@@ -88,3 +88,24 @@ pub trait Agent<P>: Any {
     /// (implementations return `self`).
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
+
+/// A boxed agent is an agent: the escape hatch that lets
+/// [`Sim`](crate::Sim) default to heterogeneous `Box<dyn Agent<P>>` hosts
+/// while the hot path runs a concrete agent type with static dispatch.
+///
+/// `as_any_mut` delegates to the *inner* value, so
+/// [`Sim::with_agent`](crate::Sim::with_agent) downcasts reach the concrete
+/// agent identically through either dispatch path.
+impl<P, A: Agent<P> + ?Sized> Agent<P> for Box<A> {
+    fn on_packet(&mut self, pkt: Packet<P>, port: PortId, ctx: &mut Ctx<'_, P>) {
+        (**self).on_packet(pkt, port, ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, P>) {
+        (**self).on_timer(token, ctx);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        (**self).as_any_mut()
+    }
+}

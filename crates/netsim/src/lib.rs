@@ -46,7 +46,9 @@ pub use link::{FaultConfig, LinkId, LinkParams};
 pub use network::{AuditReport, NetEvent, Sim, SimTuning};
 pub use node::{NodeId, PortId};
 pub use packet::{Ecn, FlowId, Packet};
-pub use probe::{CcSnapshot, ProbeConfig, ProbeRecord, Probes, SimProfile};
-pub use queue::{DropTail, EcnThreshold, EnqueueOutcome, Qdisc, QdiscConfig, Red, RedMode};
+pub use probe::{set_alloc_probe, CcSnapshot, ProbeConfig, ProbeRecord, Probes, SimProfile};
+pub use queue::{
+    DropTail, EcnThreshold, EnqueueOutcome, Qdisc, QdiscConfig, QdiscKind, Red, RedMode,
+};
 pub use routing::{mix64, EcmpRouter, Router, StaticRouter};
 pub use trace::{TraceBuffer, TraceEvent, TraceKind};

@@ -8,7 +8,7 @@
 
 use crate::node::{NodeId, PortId};
 use crate::packet::Packet;
-use crate::queue::{Qdisc, QdiscConfig};
+use crate::queue::{Qdisc, QdiscConfig, QdiscKind};
 use crate::stats::DirStats;
 use std::collections::VecDeque;
 use std::fmt;
@@ -74,7 +74,9 @@ pub struct Direction<P> {
     /// Port on `to_node` the packet arrives on.
     pub to_port: PortId,
     /// Queue of packets waiting behind the one being serialized.
-    pub queue: Box<dyn Qdisc<P>>,
+    /// Statically dispatched for the in-tree disciplines; see
+    /// [`QdiscKind`].
+    pub queue: QdiscKind<P>,
     /// Packet currently on the wire (being serialized), if any.
     pub in_flight: Option<Packet<P>>,
     /// Per-direction counters.
@@ -104,7 +106,7 @@ pub struct Direction<P> {
     pub(crate) pending: VecDeque<(SimTime, SimTime)>,
 }
 
-impl<P> Direction<P> {
+impl<P: Send> Direction<P> {
     /// Instantaneous backlog (waiting packets, excluding the one on the wire).
     pub fn backlog(&self) -> usize {
         self.queue.len()
@@ -173,7 +175,7 @@ impl<P> Direction<P> {
     }
 }
 
-impl<P> fmt::Debug for Direction<P> {
+impl<P: Send> fmt::Debug for Direction<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Direction")
             .field("to_node", &self.to_node)

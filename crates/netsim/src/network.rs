@@ -24,7 +24,7 @@ use crate::link::{Link, LinkId, LinkParams};
 use crate::node::{Node, NodeId, NodeKind, PortId};
 use crate::packet::{FlowId, Packet};
 use crate::probe::{ProbeConfig, ProbeRecord, Probes, SimProfile};
-use crate::queue::EnqueueOutcome;
+use crate::queue::{EnqueueOutcome, Qdisc};
 use crate::routing::Router;
 use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
 use std::collections::VecDeque;
@@ -113,6 +113,30 @@ pub enum NetEvent<P> {
     Sample,
 }
 
+/// Deadline-bump state for one `(node, token)` agent timer.
+///
+/// Re-arming a timer does **not** schedule a fresh engine event; it only
+/// records the new deadline (`intent`) and lets the single tracked in-flight
+/// event re-arm itself when it fires early. This matters enormously for
+/// retransmission timers, which transports push out by a full RTO on every
+/// ACK: the naive schedule-per-set approach keeps `ack rate × RTO` stale
+/// events churning through the far-future overflow heap, while this scheme
+/// keeps exactly one pending event per armed timer. A fresh event is
+/// scheduled only when none is in flight or the deadline moved *earlier*
+/// than the tracked event (the superseded event becomes an orphan, detected
+/// by its stale `sched_gen`).
+#[derive(Debug, Default, Clone, Copy)]
+struct TimerState {
+    /// The armed deadline; `None` while disarmed (cancelled or fired).
+    intent: Option<SimTime>,
+    /// The tracked in-flight engine event: `(fire time, schedule
+    /// generation)`. An event carrying any other generation is an orphan
+    /// and is ignored on expiry.
+    sched: Option<(SimTime, u64)>,
+    /// Monotone per-token schedule counter backing orphan detection.
+    sched_gen: u64,
+}
+
 /// Same-instant tie keys for engine events (see `Engine::schedule_keyed`).
 ///
 /// Events firing at the same instant are ranked by *identity*, not by when
@@ -147,19 +171,26 @@ fn fault_key(idx: u32) -> u64 {
 const SAMPLE_KEY: u64 = u64::MAX;
 
 /// The whole simulation.
-pub struct Sim<P: Payload> {
+///
+/// Generic over the agent type `A` running on hosts. The default,
+/// `Box<dyn Agent<P>>`, accepts heterogeneous agents through one virtual
+/// call per delivery — the historical behaviour. Fixing `A` to a concrete
+/// type (the suite runner uses the in-tree transport host) devirtualizes
+/// every packet delivery and timer callback; the blanket
+/// `impl Agent<P> for Box<A>` keeps boxed call sites working unchanged.
+pub struct Sim<P: Payload, A: Agent<P> = Box<dyn Agent<P>>> {
     engine: Engine<NetEvent<P>>,
     nodes: Vec<Node>,
     links: Vec<Link<P>>,
-    agents: Vec<Option<Box<dyn Agent<P>>>>,
+    agents: Vec<Option<A>>,
     /// Address book as a sorted `(addr-as-u32, node)` table: binary-search
     /// lookups, no hashing, deterministic iteration. Bindings happen only
     /// during topology construction.
     addr_book: Vec<(u32, NodeId)>,
-    /// Per-node timer generations, indexed densely by `NodeId`. Tokens are
+    /// Per-node timer state, indexed densely by `NodeId`. Tokens are
     /// sparse agent-chosen u64s (connection × subflow × kind packed bits),
     /// so each node keeps a small fast-hash map rather than a dense slab.
-    timer_gens: Vec<FxHashMap<u64, u64>>,
+    timers: Vec<FxHashMap<u64, TimerState>>,
     signals: VecDeque<(NodeId, u64)>,
     /// Recycled agent emission buffers: every packet delivery and timer
     /// expiry needs a scratch `Vec<Emit>`, and allocating one per event was
@@ -207,7 +238,7 @@ pub struct AuditReport {
     pub in_network: u64,
 }
 
-impl<P: Payload> Sim<P> {
+impl<P: Payload, A: Agent<P>> Sim<P, A> {
     /// Fresh, empty simulation seeded with `seed` (drives fault injection
     /// and any other network-side randomness).
     pub fn new(seed: u64) -> Self {
@@ -217,7 +248,7 @@ impl<P: Payload> Sim<P> {
             links: Vec::new(),
             agents: Vec::new(),
             addr_book: Vec::new(),
-            timer_gens: Vec::new(),
+            timers: Vec::new(),
             signals: VecDeque::new(),
             emit_pool: Vec::new(),
             rng: SimRng::new(seed),
@@ -396,11 +427,11 @@ impl<P: Payload> Sim<P> {
     }
 
     /// Add an end host running `agent`.
-    pub fn add_host(&mut self, label: impl Into<String>, agent: Box<dyn Agent<P>>) -> NodeId {
+    pub fn add_host(&mut self, label: impl Into<String>, agent: A) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node::new(NodeKind::Host, label.into()));
         self.agents.push(Some(agent));
-        self.timer_gens.push(FxHashMap::default());
+        self.timers.push(FxHashMap::default());
         id
     }
 
@@ -411,7 +442,7 @@ impl<P: Payload> Sim<P> {
         self.nodes
             .push(Node::new(NodeKind::Switch(router), label.into()));
         self.agents.push(None);
-        self.timer_gens.push(FxHashMap::default());
+        self.timers.push(FxHashMap::default());
         self.fibs_ready = false;
         id
     }
@@ -678,12 +709,17 @@ impl<P: Payload> Sim<P> {
 
     /// Run the concrete agent on `node` with driver code.
     ///
+    /// The downcast target `T` is independent of the sim's agent parameter
+    /// `A`: with boxed agents `T` names the concrete type inside the box
+    /// (via the blanket `Box<A>` impl's delegating `as_any_mut`), with
+    /// static dispatch it is usually `A` itself.
+    ///
     /// # Panics
-    /// Panics if `node` is not a host or its agent is not an `A`.
-    pub fn with_agent<A: Agent<P>, R>(
+    /// Panics if `node` is not a host or its agent is not a `T`.
+    pub fn with_agent<T: Agent<P>, R>(
         &mut self,
         node: NodeId,
-        f: impl FnOnce(&mut A, &mut Ctx<'_, P>) -> R,
+        f: impl FnOnce(&mut T, &mut Ctx<'_, P>) -> R,
     ) -> R {
         let mut agent = self.agents[node.0 as usize]
             .take()
@@ -694,7 +730,7 @@ impl<P: Payload> Sim<P> {
             let mut ctx = Ctx::new(now, &mut emits);
             let a = agent
                 .as_any_mut()
-                .downcast_mut::<A>()
+                .downcast_mut::<T>()
                 .expect("agent type mismatch");
             f(a, &mut ctx)
         };
@@ -717,6 +753,7 @@ impl<P: Payload> Sim<P> {
     ) {
         self.compile_fibs();
         let wall = std::time::Instant::now();
+        let alloc_start = crate::probe::read_alloc_probe();
         while let Some((_, ev)) = self.engine.pop_at_or_before(deadline) {
             self.handle(ev);
             while let Some((node, code)) = self.signals.pop_front() {
@@ -727,6 +764,9 @@ impl<P: Payload> Sim<P> {
         // matching lazy departures so stats observed after the run window
         // (and any run that resumes later) see identical samples.
         self.flush_lazy(deadline);
+        if let (Some(start), Some(end)) = (alloc_start, crate::probe::read_alloc_probe()) {
+            self.profile.allocs += end.saturating_sub(start);
+        }
         self.profile.run_wall_ns += wall.elapsed().as_nanos() as u64;
     }
 
@@ -1030,12 +1070,30 @@ impl<P: Payload> Sim<P> {
     }
 
     fn on_timer(&mut self, node: NodeId, token: u64, gen: u64) {
-        let current = self.timer_gens[node.0 as usize]
-            .get(&token)
-            .copied()
-            .unwrap_or(0);
-        if gen != current {
-            return; // cancelled or re-armed
+        let now = self.engine.now();
+        let Some(st) = self.timers[node.0 as usize].get_mut(&token) else {
+            return; // token never armed on this node
+        };
+        match st.sched {
+            Some((_, g)) if g == gen => st.sched = None,
+            _ => return, // orphan: superseded by an earlier re-schedule
+        }
+        match st.intent {
+            None => return, // cancelled; the event rode out harmlessly
+            Some(t) if t > now => {
+                // Deadline was bumped out past this event: re-arm the one
+                // tracked event at the current intent and keep waiting.
+                st.sched_gen += 1;
+                let g = st.sched_gen;
+                st.sched = Some((t, g));
+                self.engine
+                    .schedule_keyed(t, timer_key(node), NetEvent::Timer { node, token, gen: g });
+                return;
+            }
+            Some(t) => {
+                debug_assert!(t == now, "tracked timer event fired late");
+                st.intent = None;
+            }
         }
         let mut agent = self.agents[node.0 as usize]
             .take()
@@ -1075,17 +1133,28 @@ impl<P: Payload> Sim<P> {
                     self.enqueue_on(link, dir, pkt);
                 }
                 Emit::SetTimer { token, at } => {
-                    let gen = self.timer_gens[node.0 as usize].entry(token).or_insert(0);
-                    *gen += 1;
-                    let gen = *gen;
-                    self.engine.schedule_keyed(
-                        at.max(now),
-                        timer_key(node),
-                        NetEvent::Timer { node, token, gen },
-                    );
+                    let at = at.max(now);
+                    let st = self.timers[node.0 as usize].entry(token).or_default();
+                    st.intent = Some(at);
+                    // Ride the tracked in-flight event whenever it fires at
+                    // or before the new deadline (it re-arms itself on
+                    // expiry); schedule only when none is pending or the
+                    // deadline moved earlier.
+                    if st.sched.is_none_or(|(p, _)| p > at) {
+                        st.sched_gen += 1;
+                        let gen = st.sched_gen;
+                        st.sched = Some((at, gen));
+                        self.engine.schedule_keyed(
+                            at,
+                            timer_key(node),
+                            NetEvent::Timer { node, token, gen },
+                        );
+                    }
                 }
                 Emit::CancelTimer { token } => {
-                    *self.timer_gens[node.0 as usize].entry(token).or_insert(0) += 1;
+                    if let Some(st) = self.timers[node.0 as usize].get_mut(&token) {
+                        st.intent = None;
+                    }
                 }
                 Emit::Signal(code) => self.signals.push_back((node, code)),
             }
@@ -1285,7 +1354,9 @@ mod tests {
         fn on_packet(&mut self, pkt: Packet<u64>, _port: PortId, ctx: &mut Ctx<'_, u64>) {
             self.received.push((ctx.now().as_nanos(), pkt.payload));
             if self.echo {
-                let mut back = pkt.clone();
+                // Reuse the delivered packet for the echo instead of
+                // cloning it: swap the endpoints in place.
+                let mut back = pkt;
                 std::mem::swap(&mut back.src, &mut back.dst);
                 back.payload += 1000;
                 let code = back.payload;

@@ -29,7 +29,33 @@
 
 use crate::link::LinkId;
 use std::fmt::Write as _;
+use std::sync::OnceLock;
 use xmp_des::{SimDuration, SimTime};
+
+/// Process-wide allocation-counter probe, installed once by an
+/// instrumented harness (the bench crate's counting global allocator).
+static ALLOC_PROBE: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Install an allocation-counter probe: a function returning the running
+/// total of heap allocations made by this process. `Sim::run_until` samples
+/// it at the start and end of every event-loop window and accumulates the
+/// delta into [`SimProfile::allocs`], giving
+/// [`SimProfile::allocs_per_packet_hop`] without the simulator depending on
+/// a custom global allocator itself.
+///
+/// The probe is process-global and write-once: the first call wins and
+/// later calls are ignored (benches install it from `main` before any sim
+/// runs). Uninstalled — the default for all library and test builds — it
+/// costs one relaxed atomic load per `run_until` call and
+/// `SimProfile::allocs` stays 0.
+pub fn set_alloc_probe(probe: fn() -> u64) {
+    let _ = ALLOC_PROBE.set(probe);
+}
+
+/// Sample the installed allocation probe, if any.
+pub(crate) fn read_alloc_probe() -> Option<u64> {
+    ALLOC_PROBE.get().map(|f| f())
+}
 
 /// Round-state snapshot of one subflow's congestion controller, embedded in
 /// [`ProbeRecord::Cwnd`] for round-based algorithms (XMP/BOS). Defined here
@@ -584,12 +610,27 @@ pub struct SimProfile {
     pub run_wall_ns: u64,
     /// Wall-clock nanoseconds spent compiling FIBs.
     pub fib_compile_ns: u64,
+    /// Heap allocations observed inside `run_until` windows by the
+    /// installed [`set_alloc_probe`] hook (0 when no probe is installed —
+    /// the default outside instrumented benches).
+    pub allocs: u64,
 }
 
 impl SimProfile {
     /// Total events handled, all kinds.
     pub fn events_handled(&self) -> u64 {
         self.deliver + self.tx_done + self.timer + self.fault + self.sample
+    }
+
+    /// Heap allocations per `Deliver` event — the headline "allocations per
+    /// packet-hop" number. Meaningful only when an allocation probe is
+    /// installed ([`set_alloc_probe`]); 0.0 when nothing was delivered.
+    pub fn allocs_per_packet_hop(&self) -> f64 {
+        if self.deliver == 0 {
+            0.0
+        } else {
+            self.allocs as f64 / self.deliver as f64
+        }
     }
 
     /// Fraction of emit-buffer pops served from the pool (1.0 = no

@@ -59,7 +59,7 @@ pub trait Qdisc<P>: Send {
     fn capacity(&self) -> usize;
 }
 
-/// Declarative queue configuration, turned into a boxed discipline per port.
+/// Declarative queue configuration, turned into a [`QdiscKind`] per port.
 #[derive(Clone, Debug)]
 pub enum QdiscConfig {
     /// FIFO with the given capacity (packets).
@@ -91,15 +91,23 @@ pub enum QdiscConfig {
         /// RNG seed for the probabilistic decisions.
         seed: u64,
     },
+    /// Build the inner configuration behind the [`QdiscKind::Custom`] boxed
+    /// escape hatch instead of its enum variant. Behaviour is identical —
+    /// only the dispatch mechanism changes — which is exactly what the
+    /// dispatch differential tests exercise.
+    Boxed(Box<QdiscConfig>),
 }
 
 impl QdiscConfig {
-    /// Materialize the configuration.
-    pub fn build<P: Send + 'static>(&self) -> Box<dyn Qdisc<P>> {
-        match *self {
-            QdiscConfig::DropTail { cap } => Box::new(DropTail::new(cap)),
-            QdiscConfig::EcnThreshold { cap, k } => Box::new(EcnThreshold::new(cap, k)),
-            QdiscConfig::Red {
+    /// Materialize the configuration as a statically dispatched
+    /// [`QdiscKind`].
+    pub fn build<P: Send + 'static>(&self) -> QdiscKind<P> {
+        match self {
+            &QdiscConfig::DropTail { cap } => QdiscKind::DropTail(DropTail::new(cap)),
+            &QdiscConfig::EcnThreshold { cap, k } => {
+                QdiscKind::EcnThreshold(EcnThreshold::new(cap, k))
+            }
+            &QdiscConfig::Red {
                 cap,
                 wq,
                 min_th,
@@ -107,7 +115,77 @@ impl QdiscConfig {
                 max_p,
                 mode,
                 seed,
-            } => Box::new(Red::new(cap, wq, min_th, max_th, max_p, mode, seed)),
+            } => QdiscKind::Red(Red::new(cap, wq, min_th, max_th, max_p, mode, seed)),
+            QdiscConfig::Boxed(inner) => QdiscKind::Custom(Box::new(inner.build::<P>())),
+        }
+    }
+
+    /// Wrap this configuration so it builds through the boxed escape hatch.
+    pub fn boxed(self) -> QdiscConfig {
+        QdiscConfig::Boxed(Box::new(self))
+    }
+}
+
+/// The closed set of in-tree queue disciplines, dispatched by `match`
+/// instead of through a vtable — every per-packet `enqueue`/`classify` on
+/// the hot path monomorphizes to direct calls. External disciplines still
+/// plug in through [`QdiscKind::Custom`]; since `QdiscKind` itself
+/// implements [`Qdisc`], the boxed path can wrap an enum value, which is
+/// how the differential tests prove both paths bit-identical.
+pub enum QdiscKind<P> {
+    /// FIFO, drop on overflow.
+    DropTail(DropTail<P>),
+    /// Instantaneous-threshold ECN marking (the paper's rule).
+    EcnThreshold(EcnThreshold<P>),
+    /// Classic RED.
+    Red(Red<P>),
+    /// Escape hatch: any boxed [`Qdisc`] implementation.
+    Custom(Box<dyn Qdisc<P>>),
+}
+
+impl<P: Send> Qdisc<P> for QdiscKind<P> {
+    fn enqueue(&mut self, pkt: Packet<P>) -> EnqueueOutcome {
+        match self {
+            QdiscKind::DropTail(q) => q.enqueue(pkt),
+            QdiscKind::EcnThreshold(q) => q.enqueue(pkt),
+            QdiscKind::Red(q) => q.enqueue(pkt),
+            QdiscKind::Custom(q) => q.enqueue(pkt),
+        }
+    }
+
+    fn classify(&mut self, backlog: usize, pkt: &mut Packet<P>) -> EnqueueOutcome {
+        match self {
+            QdiscKind::DropTail(q) => q.classify(backlog, pkt),
+            QdiscKind::EcnThreshold(q) => q.classify(backlog, pkt),
+            QdiscKind::Red(q) => q.classify(backlog, pkt),
+            QdiscKind::Custom(q) => q.classify(backlog, pkt),
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<Packet<P>> {
+        match self {
+            QdiscKind::DropTail(q) => q.dequeue(),
+            QdiscKind::EcnThreshold(q) => q.dequeue(),
+            QdiscKind::Red(q) => q.dequeue(),
+            QdiscKind::Custom(q) => q.dequeue(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            QdiscKind::DropTail(q) => q.len(),
+            QdiscKind::EcnThreshold(q) => q.len(),
+            QdiscKind::Red(q) => q.len(),
+            QdiscKind::Custom(q) => q.len(),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        match self {
+            QdiscKind::DropTail(q) => q.capacity(),
+            QdiscKind::EcnThreshold(q) => q.capacity(),
+            QdiscKind::Red(q) => q.capacity(),
+            QdiscKind::Custom(q) => q.capacity(),
         }
     }
 }
@@ -466,9 +544,9 @@ mod tests {
 
     #[test]
     fn qdisc_config_builds() {
-        let mut a: Box<dyn Qdisc<u32>> = QdiscConfig::DropTail { cap: 4 }.build();
-        let mut b: Box<dyn Qdisc<u32>> = QdiscConfig::EcnThreshold { cap: 4, k: 1 }.build();
-        let mut c: Box<dyn Qdisc<u32>> = QdiscConfig::Red {
+        let mut a: QdiscKind<u32> = QdiscConfig::DropTail { cap: 4 }.build();
+        let mut b: QdiscKind<u32> = QdiscConfig::EcnThreshold { cap: 4, k: 1 }.build();
+        let mut c: QdiscKind<u32> = QdiscConfig::Red {
             cap: 4,
             wq: 0.5,
             min_th: 1.0,
@@ -478,10 +556,43 @@ mod tests {
             seed: 7,
         }
         .build();
-        for q in [&mut a, &mut b, &mut c] {
+        let mut d: QdiscKind<u32> = QdiscConfig::EcnThreshold { cap: 4, k: 1 }.boxed().build();
+        assert!(matches!(a, QdiscKind::DropTail(_)));
+        assert!(matches!(d, QdiscKind::Custom(_)));
+        for q in [&mut a, &mut b, &mut c, &mut d] {
             assert_eq!(q.capacity(), 4);
             q.enqueue(pkt(Ecn::Ect));
             assert_eq!(q.len(), 1);
+        }
+    }
+
+    /// The boxed escape hatch and the enum variant make identical
+    /// per-packet decisions (including the RNG-bearing RED discipline).
+    #[test]
+    fn boxed_build_matches_enum_build() {
+        let cfg = QdiscConfig::Red {
+            cap: 16,
+            wq: 0.7,
+            min_th: 2.0,
+            max_th: 9.0,
+            max_p: 0.4,
+            mode: RedMode::Mark,
+            seed: 11,
+        };
+        let mut plain: QdiscKind<u32> = cfg.build();
+        let mut boxed: QdiscKind<u32> = cfg.boxed().build();
+        let mut rng = SimRng::new(99);
+        for i in 0..400 {
+            if rng.chance(0.6) {
+                assert_eq!(plain.enqueue(pkt(Ecn::Ect)), boxed.enqueue(pkt(Ecn::Ect)), "op {i}");
+            } else {
+                assert_eq!(
+                    plain.dequeue().map(|p| p.ecn),
+                    boxed.dequeue().map(|p| p.ecn),
+                    "op {i}"
+                );
+            }
+            assert_eq!(plain.len(), boxed.len(), "op {i}");
         }
     }
 

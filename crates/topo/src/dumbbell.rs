@@ -27,13 +27,13 @@ impl Dumbbell {
     /// propagation is `rtt/2` split as access/4 + bottleneck/2 + access/4
     /// (access links run at 4x the bottleneck rate with large drop-tail
     /// buffers so only the bottleneck queue matters).
-    pub fn build<P: Payload>(
-        sim: &mut Sim<P>,
+    pub fn build<P: Payload, A: Agent<P>>(
+        sim: &mut Sim<P, A>,
         n: usize,
         bandwidth: Bandwidth,
         rtt: SimDuration,
         queue: QdiscConfig,
-        mut host_factory: impl FnMut(usize) -> Box<dyn Agent<P>>,
+        mut host_factory: impl FnMut(usize) -> A,
     ) -> Dumbbell {
         assert!((1..200).contains(&n));
         let access_delay = rtt / 8;

@@ -122,10 +122,10 @@ pub struct FatTree {
 impl FatTree {
     /// Build the tree inside `sim`; `host_factory(i)` supplies host `i`'s
     /// agent.
-    pub fn build<P: Payload>(
-        sim: &mut Sim<P>,
+    pub fn build<P: Payload, A: Agent<P>>(
+        sim: &mut Sim<P, A>,
         config: &FatTreeConfig,
-        mut host_factory: impl FnMut(usize) -> Box<dyn Agent<P>>,
+        mut host_factory: impl FnMut(usize) -> A,
     ) -> FatTree {
         let k = config.k;
         assert!(k >= 4 && k.is_multiple_of(2), "fat tree needs even k >= 4");

@@ -83,10 +83,10 @@ pub struct ShiftTestbed {
 impl ShiftTestbed {
     /// Build the topology. `host_factory(i)` is called once per host
     /// (10 hosts, in the order S1,D1,S3,D3,S2,D2,B1s,B1d,B2s,B2d).
-    pub fn build<P: Payload>(
-        sim: &mut Sim<P>,
+    pub fn build<P: Payload, A: Agent<P>>(
+        sim: &mut Sim<P, A>,
         cfg: &TestbedConfig,
-        mut host_factory: impl FnMut(usize) -> Box<dyn Agent<P>>,
+        mut host_factory: impl FnMut(usize) -> A,
     ) -> ShiftTestbed {
         let access = LinkParams::new(
             Bandwidth::from_gbps(1),
@@ -110,7 +110,7 @@ impl ShiftTestbed {
         ];
 
         let mut idx = 0usize;
-        let mut mk = |sim: &mut Sim<P>, name: &str| {
+        let mut mk = |sim: &mut Sim<P, A>, name: &str| {
             let n = sim.add_host(name, host_factory(idx));
             idx += 1;
             n
@@ -140,7 +140,7 @@ impl ShiftTestbed {
         }
         // attach(host, dn index, side, slot): wire an access link and add
         // the switch-side host route.
-        let attach = |sim: &mut Sim<P>,
+        let attach = |sim: &mut Sim<P, A>,
                           lrout: &mut [StaticRouter; 2],
                           rrout: &mut [StaticRouter; 2],
                           host: NodeId,
@@ -244,10 +244,10 @@ pub struct FairnessTestbed {
 
 impl FairnessTestbed {
     /// Build with the paper's testbed parameters.
-    pub fn build<P: Payload>(
-        sim: &mut Sim<P>,
+    pub fn build<P: Payload, A: Agent<P>>(
+        sim: &mut Sim<P, A>,
         cfg: &TestbedConfig,
-        host_factory: impl FnMut(usize) -> Box<dyn Agent<P>>,
+        host_factory: impl FnMut(usize) -> A,
     ) -> FairnessTestbed {
         let net = Dumbbell::build(
             sim,

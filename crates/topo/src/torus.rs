@@ -65,10 +65,10 @@ pub struct Torus {
 impl Torus {
     /// Build the ring. `host_factory(i)` is called for the 12 hosts in the
     /// order S1..S5, D1..D5, BgS, BgD.
-    pub fn build<P: Payload>(
-        sim: &mut Sim<P>,
+    pub fn build<P: Payload, A: Agent<P>>(
+        sim: &mut Sim<P, A>,
         cfg: &TorusConfig,
-        mut host_factory: impl FnMut(usize) -> Box<dyn Agent<P>>,
+        mut host_factory: impl FnMut(usize) -> A,
     ) -> Torus {
         // One-way budget rtt/2 split as access + bottleneck + access
         // (e.g. 50 + 75 + 50 µs for the paper's 350 µs RTT).
@@ -106,7 +106,7 @@ impl Torus {
 
         // Hosts.
         let mut idx = 0;
-        let mut hosts = |sim: &mut Sim<P>, name: String| {
+        let mut hosts = |sim: &mut Sim<P, A>, name: String| {
             let n = sim.add_host(name, host_factory(idx));
             idx += 1;
             n

@@ -148,6 +148,50 @@ pub trait CongestionControl: Send {
     }
 }
 
+/// A boxed controller is a controller: the escape hatch that lets
+/// [`MpSender`](crate::MpSender) default to `Box<dyn CongestionControl>`
+/// while the hot path runs a concrete controller type (the suite uses
+/// `xmp-core`'s closed `CcKind` enum) with static dispatch. Every method —
+/// including the defaulted diagnostics — delegates to the inner value so
+/// both dispatch paths observe identical behaviour.
+impl<C: CongestionControl + ?Sized> CongestionControl for Box<C> {
+    fn init(&mut self, n: usize) {
+        (**self).init(n);
+    }
+
+    fn on_subflow_added(&mut self) {
+        (**self).on_subflow_added();
+    }
+
+    fn echo_mode(&self) -> EchoMode {
+        (**self).echo_mode()
+    }
+
+    fn on_ack(&mut self, r: usize, info: &AckInfo, view: &mut [SubflowCc]) {
+        (**self).on_ack(r, info, view);
+    }
+
+    fn ssthresh_on_loss(&mut self, r: usize, view: &[SubflowCc]) -> f64 {
+        (**self).ssthresh_on_loss(r, view)
+    }
+
+    fn on_rto(&mut self, r: usize, view: &mut [SubflowCc]) {
+        (**self).on_rto(r, view);
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn observed_round_p(&self, r: usize) -> Option<f64> {
+        (**self).observed_round_p(r)
+    }
+
+    fn probe(&self, r: usize) -> Option<CcSnapshot> {
+        (**self).probe(r)
+    }
+}
+
 /// Shared helper: standard slow-start + AIMD congestion-avoidance growth
 /// used by the uncoupled algorithms (per acked-MSS granularity).
 pub(crate) fn reno_growth(sub: &mut SubflowCc, info: &AckInfo) {

@@ -47,8 +47,10 @@ pub enum SegKind {
     Ack,
 }
 
-/// A transport segment.
-#[derive(Clone, Debug)]
+/// A transport segment. All fields are plain scalars, so segments are
+/// `Copy` — the host stack and test probes pass them by value instead of
+/// cloning heap state.
+#[derive(Clone, Copy, Debug)]
 pub struct Segment {
     /// Connection the segment belongs to.
     pub conn: ConnKey,

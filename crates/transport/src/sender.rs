@@ -122,28 +122,33 @@ struct SubflowTx {
 }
 
 /// A sending MPTCP connection (single-path TCP is the 1-subflow case).
-pub struct MpSender {
+///
+/// Generic over the congestion controller `C` so a closed enum of in-tree
+/// algorithms (`xmp-core`'s `CcKind`) dispatches statically on the per-ACK
+/// hot path; the default, `Box<dyn CongestionControl>`, keeps external
+/// controllers and existing call sites working through one virtual call.
+pub struct MpSender<C: CongestionControl = Box<dyn CongestionControl>> {
     conn: ConnKey,
     total: u64,
     allocated: u64,
     acked_total: u64,
     mss: u32,
     initial_cwnd: f64,
-    cc: Box<dyn CongestionControl>,
+    cc: C,
     view: Vec<SubflowCc>,
     subs: Vec<SubflowTx>,
     completed: bool,
     stats: ConnStats,
 }
 
-impl MpSender {
+impl<C: CongestionControl> MpSender<C> {
     /// Create a sender for `total` bytes (`u64::MAX` = run forever) over
     /// the given subflows.
     pub fn new(
         conn: ConnKey,
         subflows: Vec<SubflowSpec>,
         total: u64,
-        mut cc: Box<dyn CongestionControl>,
+        mut cc: C,
         cfg: &StackConfig,
         now: SimTime,
     ) -> Self {
@@ -210,8 +215,8 @@ impl MpSender {
     }
 
     /// The congestion controller (e.g. to query its name).
-    pub fn cc(&self) -> &dyn CongestionControl {
-        self.cc.as_ref()
+    pub fn cc(&self) -> &C {
+        &self.cc
     }
 
     /// Cumulative acknowledged bytes on subflow `r` (drives the paper's
@@ -521,8 +526,8 @@ impl MpSender {
 
     /// Expose the controller mutably (the driver uses this for scheme-
     /// specific inspection in tests).
-    pub fn cc_mut(&mut self) -> &mut dyn CongestionControl {
-        self.cc.as_mut()
+    pub fn cc_mut(&mut self) -> &mut C {
+        &mut self.cc
     }
 
     /// The initial congestion window this sender was configured with.
@@ -670,6 +675,46 @@ mod tests {
         s.on_segment(&ack(1460, 0), SimTime::from_millis(301), &mut out);
         let segs = emitted(&out);
         assert_eq!(segs[0].seq, 1460, "resend continues where ack left off");
+    }
+
+    /// A late ACK for data sent *before* an RTO rollback acknowledges bytes
+    /// beyond the rolled-back `snd_nxt` (`snd_nxt < ack <= sub_allocated`).
+    /// The sender must fast-forward `snd_nxt` past the acked bytes instead
+    /// of resending them — the go-back-N resend resumes at the hole.
+    #[test]
+    fn late_ack_after_rto_rollback_fast_forwards_snd_nxt() {
+        let mut s = sender(10_000_000);
+        let mut out = Vec::new();
+        s.open(SimTime::ZERO, &mut out);
+        let mut out = Vec::new();
+        s.on_segment(
+            &Segment::syn_ack(&Segment::syn(1, 0, 0, EchoMode::None), 0),
+            SimTime::from_micros(100),
+            &mut out,
+        );
+        // IW burst: 10 segments allocated to the subflow.
+        assert_eq!(s.view()[0].snd_nxt, 10 * 1460);
+        // RTO: go-back-N rolls snd_nxt back to snd_una and resends the head
+        // at cwnd = 1.
+        let mut out = Vec::new();
+        s.on_rto(0, SimTime::from_millis(300), &mut out);
+        assert_eq!(s.view()[0].snd_nxt, 1460, "head resent at cwnd = 1");
+        // The late ACK covers 5 pre-rollback segments.
+        let mut out = Vec::new();
+        s.on_segment(&ack(5 * 1460, 0), SimTime::from_millis(301), &mut out);
+        assert_eq!(s.view()[0].snd_una, 5 * 1460);
+        assert!(
+            s.view()[0].snd_nxt >= 5 * 1460,
+            "snd_nxt fast-forwarded past the acked bytes"
+        );
+        let segs = emitted(&out);
+        assert!(!segs.is_empty());
+        assert_eq!(
+            segs[0].seq,
+            5 * 1460,
+            "resend resumes at the first unacked byte, not at the rollback"
+        );
+        assert_eq!(s.stats().bytes_acked, 5 * 1460);
     }
 
     #[test]

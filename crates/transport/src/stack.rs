@@ -31,23 +31,36 @@ fn untoken(token: u64) -> (ConnKey, u8, u64) {
     (token >> 4, ((token >> 1) & 0x7) as u8, token & 1)
 }
 
-enum ConnState {
-    Tx(MpSender),
+enum ConnState<C: CongestionControl> {
+    Tx(MpSender<C>),
     Rx(MpReceiver),
 }
 
 /// Per-host transport stack.
-pub struct HostStack {
+///
+/// Generic over the congestion controller `C` (see [`MpSender`]); the
+/// default keeps heterogeneous boxed controllers working, while fixing `C`
+/// to a closed enum devirtualizes the per-ACK hot path.
+pub struct HostStack<C: CongestionControl = Box<dyn CongestionControl>> {
     cfg: StackConfig,
-    conns: HashMap<ConnKey, ConnState>,
+    conns: HashMap<ConnKey, ConnState<C>>,
+    /// Scratch buffer for sender actions, reused across events so the
+    /// steady state never allocates (the stack-level analogue of the sim's
+    /// emit-buffer pool). Always drained back to empty before it is
+    /// returned here.
+    tx_scratch: Vec<TxAction>,
+    /// Scratch buffer for receiver actions; same reuse discipline.
+    rx_scratch: Vec<RxAction>,
 }
 
-impl HostStack {
+impl<C: CongestionControl> HostStack<C> {
     /// A stack with the given configuration.
     pub fn new(cfg: StackConfig) -> Self {
         HostStack {
             cfg,
             conns: HashMap::new(),
+            tx_scratch: Vec::new(),
+            rx_scratch: Vec::new(),
         }
     }
 
@@ -64,17 +77,18 @@ impl HostStack {
         conn: ConnKey,
         subflows: Vec<SubflowSpec>,
         total: u64,
-        cc: Box<dyn CongestionControl>,
+        cc: C,
     ) {
         assert!(
             !self.conns.contains_key(&conn),
             "connection {conn} already exists on this host"
         );
         let mut sender = MpSender::new(conn, subflows, total, cc, &self.cfg, ctx.now());
-        let mut out = Vec::new();
+        let mut out = self.take_tx_scratch();
         sender.open(ctx.now(), &mut out);
         self.conns.insert(conn, ConnState::Tx(sender));
-        self.apply_tx(ctx, conn, out);
+        self.apply_tx(ctx, conn, &mut out);
+        self.tx_scratch = out;
     }
 
     /// Join an extra subflow on a running sending connection.
@@ -85,12 +99,13 @@ impl HostStack {
         spec: crate::sender::SubflowSpec,
     ) {
         let cfg = self.cfg.clone();
+        let mut out = self.take_tx_scratch();
         let Some(ConnState::Tx(s)) = self.conns.get_mut(&conn) else {
             panic!("add_subflow on unknown sending connection {conn}");
         };
-        let mut out = Vec::new();
         s.add_subflow(spec, &cfg, ctx.now(), &mut out);
-        self.apply_tx(ctx, conn, out);
+        self.apply_tx(ctx, conn, &mut out);
+        self.tx_scratch = out;
     }
 
     /// Drop a connection (used to stop unbounded background flows). Timers
@@ -106,7 +121,7 @@ impl HostStack {
     }
 
     /// Sending-connection accessor (stats, per-subflow windows/rates).
-    pub fn sender(&self, conn: ConnKey) -> Option<&MpSender> {
+    pub fn sender(&self, conn: ConnKey) -> Option<&MpSender<C>> {
         match self.conns.get(&conn) {
             Some(ConnState::Tx(s)) => Some(s),
             _ => None,
@@ -131,9 +146,24 @@ impl HostStack {
         self.conns.len()
     }
 
-    fn apply_tx(&mut self, ctx: &mut Ctx<'_, Segment>, conn: ConnKey, actions: Vec<TxAction>) {
+    /// Take the sender-action scratch buffer (empty; a fresh `Vec` only on
+    /// first use or re-entrant access).
+    fn take_tx_scratch(&mut self) -> Vec<TxAction> {
+        let out = std::mem::take(&mut self.tx_scratch);
+        debug_assert!(out.is_empty(), "tx scratch not drained between events");
+        out
+    }
+
+    /// Take the receiver-action scratch buffer.
+    fn take_rx_scratch(&mut self) -> Vec<RxAction> {
+        let out = std::mem::take(&mut self.rx_scratch);
+        debug_assert!(out.is_empty(), "rx scratch not drained between events");
+        out
+    }
+
+    fn apply_tx(&mut self, ctx: &mut Ctx<'_, Segment>, conn: ConnKey, actions: &mut Vec<TxAction>) {
         // Look up addressing once per action from the sender's spec.
-        for act in actions {
+        for act in actions.drain(..) {
             match act {
                 TxAction::Emit(r, seg) => {
                     let Some(ConnState::Tx(s)) = self.conns.get(&conn) else {
@@ -161,8 +191,8 @@ impl HostStack {
         }
     }
 
-    fn apply_rx(&mut self, ctx: &mut Ctx<'_, Segment>, conn: ConnKey, actions: Vec<RxAction>) {
-        for act in actions {
+    fn apply_rx(&mut self, ctx: &mut Ctx<'_, Segment>, conn: ConnKey, actions: &mut Vec<RxAction>) {
+        for act in actions.drain(..) {
             match act {
                 RxAction::Emit(r, seg, reply) => {
                     let size = seg.wire_size();
@@ -180,61 +210,73 @@ impl HostStack {
     }
 }
 
-impl Agent<Segment> for HostStack {
+impl<C: CongestionControl + 'static> Agent<Segment> for HostStack<C> {
     fn on_packet(&mut self, pkt: Packet<Segment>, port: PortId, ctx: &mut Ctx<'_, Segment>) {
-        let seg = pkt.payload.clone();
+        let seg = pkt.payload; // Segment is Copy: no clone
         let conn = seg.conn;
         match seg.kind {
             SegKind::Syn => {
+                let mut out = self.take_rx_scratch();
                 let rx = match self.conns.entry(conn).or_insert_with(|| {
                     ConnState::Rx(MpReceiver::new(conn, seg.echo_mode, self.cfg.delack_timeout))
                 }) {
                     ConnState::Rx(r) => r,
-                    ConnState::Tx(_) => return, // key collision with a local sender: ignore
+                    ConnState::Tx(_) => {
+                        // Key collision with a local sender: ignore.
+                        self.rx_scratch = out;
+                        return;
+                    }
                 };
                 let reply = ReplyPath {
                     port,
                     src: pkt.dst,
                     dst: pkt.src,
                 };
-                let mut out = Vec::new();
                 rx.on_syn(&seg, reply, ctx.now(), &mut out);
-                self.apply_rx(ctx, conn, out);
+                self.apply_rx(ctx, conn, &mut out);
+                self.rx_scratch = out;
             }
             SegKind::Data => {
                 let ce = pkt.ecn == Ecn::Ce;
-                let Some(ConnState::Rx(rx)) = self.conns.get_mut(&conn) else {
-                    return;
-                };
-                let mut out = Vec::new();
-                rx.on_data(&seg, ce, ctx.now(), &mut out);
-                self.apply_rx(ctx, conn, out);
+                let mut out = self.take_rx_scratch();
+                if let Some(ConnState::Rx(rx)) = self.conns.get_mut(&conn) {
+                    rx.on_data(&seg, ce, ctx.now(), &mut out);
+                    self.apply_rx(ctx, conn, &mut out);
+                }
+                self.rx_scratch = out;
             }
             SegKind::SynAck | SegKind::Ack => {
-                let Some(ConnState::Tx(tx)) = self.conns.get_mut(&conn) else {
-                    return;
-                };
-                let mut out = Vec::new();
-                tx.on_segment(&seg, ctx.now(), &mut out);
-                self.apply_tx(ctx, conn, out);
+                let mut out = self.take_tx_scratch();
+                if let Some(ConnState::Tx(tx)) = self.conns.get_mut(&conn) {
+                    tx.on_segment(&seg, ctx.now(), &mut out);
+                    self.apply_tx(ctx, conn, &mut out);
+                }
+                self.tx_scratch = out;
             }
         }
     }
 
     fn on_timer(&mut self, tok: u64, ctx: &mut Ctx<'_, Segment>) {
         let (conn, subflow, kind) = untoken(tok);
-        match (kind, self.conns.get_mut(&conn)) {
-            (KIND_RTO, Some(ConnState::Tx(tx))) => {
-                let mut out = Vec::new();
-                tx.on_rto(subflow as usize, ctx.now(), &mut out);
-                self.apply_tx(ctx, conn, out);
+        match kind {
+            KIND_RTO => {
+                let mut out = self.take_tx_scratch();
+                // A timer for a closed connection is stale: nothing to do.
+                if let Some(ConnState::Tx(tx)) = self.conns.get_mut(&conn) {
+                    tx.on_rto(subflow as usize, ctx.now(), &mut out);
+                    self.apply_tx(ctx, conn, &mut out);
+                }
+                self.tx_scratch = out;
             }
-            (KIND_DELACK, Some(ConnState::Rx(rx))) => {
-                let mut out = Vec::new();
-                rx.on_delack(subflow as usize, &mut out);
-                self.apply_rx(ctx, conn, out);
+            KIND_DELACK => {
+                let mut out = self.take_rx_scratch();
+                if let Some(ConnState::Rx(rx)) = self.conns.get_mut(&conn) {
+                    rx.on_delack(subflow as usize, &mut out);
+                    self.apply_rx(ctx, conn, &mut out);
+                }
+                self.rx_scratch = out;
             }
-            _ => {} // connection closed; stale timer
+            _ => {}
         }
     }
 

@@ -13,10 +13,16 @@ use xmp_core::Xmp;
 const A: Addr = Addr::new(10, 0, 0, 1);
 const B: Addr = Addr::new(10, 0, 0, 2);
 
+/// Boxed-controller stack (the `HostStack` default) — this file pins the
+/// dynamic-dispatch escape hatch end to end.
+fn host() -> Box<HostStack> {
+    Box::new(HostStack::new(StackConfig::default()))
+}
+
 fn pair(queue: QdiscConfig) -> (Sim<Segment>, NodeId, NodeId) {
     let mut sim: Sim<Segment> = Sim::new(1);
-    let a = sim.add_host("a", Box::new(HostStack::new(StackConfig::default())));
-    let b = sim.add_host("b", Box::new(HostStack::new(StackConfig::default())));
+    let a = sim.add_host("a", host());
+    let b = sim.add_host("b", host());
     let sw = sim.add_switch("sw", Box::new(StaticRouter::new()));
     let params = LinkParams::new(
         Bandwidth::from_mbps(100),

@@ -4,10 +4,19 @@
 
 use crate::scheme::Scheme;
 use std::collections::{BTreeMap, HashMap};
+use xmp_core::CcKind;
 use xmp_des::{SimDuration, SimTime};
-use xmp_netsim::{NodeId, Sim};
+use xmp_netsim::{Agent, NodeId, Sim};
 use xmp_topo::FlowCategory;
-use xmp_transport::{CcSnapshot, ConnKey, HostStack, Segment, SubflowSpec};
+use xmp_transport::{CcSnapshot, CongestionControl, ConnKey, HostStack, Segment, SubflowSpec};
+
+/// The host agent the driver manages: a [`HostStack`] whose congestion
+/// controllers are the statically dispatched [`CcKind`] enum. Simulations
+/// may store hosts either as plain `Host` values (`Sim<Segment, Host>`,
+/// the devirtualized fast path) or behind `Box<dyn Agent<Segment>>` (the
+/// historical boxed path); the driver's downcasts work identically in both
+/// because boxed agents delegate `as_any_mut` to the inner stack.
+pub type Host = HostStack<CcKind>;
 
 /// Record of one flow's life.
 #[derive(Debug, Clone)]
@@ -71,7 +80,7 @@ struct PendingFlow {
     conn: ConnKey,
 }
 
-/// Flow lifecycle manager over a [`Sim`] whose hosts run [`HostStack`]s.
+/// Flow lifecycle manager over a [`Sim`] whose hosts run [`Host`] stacks.
 #[derive(Default)]
 pub struct Driver {
     next_conn: ConnKey,
@@ -83,12 +92,26 @@ pub struct Driver {
     // order via the monotonically assigned ConnKey.
     records: BTreeMap<ConnKey, FlowRecord>,
     completed: u64,
+    // Wrap every controller in `CcKind::Custom` (one vtable hop) — the
+    // dispatch-differential lever; behaviour is identical by construction.
+    boxed_cc: bool,
+    // Reused by `subflow_snapshots` so steady-state observation never
+    // allocates; cleared at the start of each call.
+    snap_scratch: Vec<SubflowSnapshot>,
 }
 
 impl Driver {
     /// Empty driver.
     pub fn new() -> Self {
         Driver::default()
+    }
+
+    /// Route every controller through the boxed [`CcKind::Custom`] escape
+    /// hatch instead of direct enum dispatch. Flow behaviour is identical;
+    /// only the dispatch mechanism changes (the dispatch differential test
+    /// flips this).
+    pub fn set_boxed_cc(&mut self, boxed: bool) {
+        self.boxed_cc = boxed;
     }
 
     /// Reserve a fresh connection key.
@@ -145,11 +168,11 @@ impl Driver {
     /// Run the simulation until `until`, starting queued flows on time and
     /// invoking `on_complete(sim, driver, conn)` as flows finish (the
     /// callback may submit more flows or stop unbounded ones).
-    pub fn run(
+    pub fn run<A: Agent<Segment>>(
         &mut self,
-        sim: &mut Sim<Segment>,
+        sim: &mut Sim<Segment, A>,
         until: SimTime,
-        mut on_complete: impl FnMut(&mut Sim<Segment>, &mut Driver, ConnKey),
+        mut on_complete: impl FnMut(&mut Sim<Segment, A>, &mut Driver, ConnKey),
     ) {
         loop {
             self.start_due(sim);
@@ -178,7 +201,7 @@ impl Driver {
     }
 
     /// Start every pending flow whose start time has been reached.
-    fn start_due(&mut self, sim: &mut Sim<Segment>) {
+    fn start_due<A: Agent<Segment>>(&mut self, sim: &mut Sim<Segment, A>) {
         while self
             .pending
             .last()
@@ -189,10 +212,11 @@ impl Driver {
         }
     }
 
-    fn start_now(&mut self, sim: &mut Sim<Segment>, due: PendingFlow) {
+    fn start_now<A: Agent<Segment>>(&mut self, sim: &mut Sim<Segment, A>, due: PendingFlow) {
         let PendingFlow { spec, conn } = due;
         let cc = spec.scheme.make_cc();
-        sim.with_agent::<HostStack, _>(spec.src_node, |stack, ctx| {
+        let cc = if self.boxed_cc { cc.boxed() } else { cc };
+        sim.with_agent::<Host, _>(spec.src_node, |stack, ctx| {
             stack.open(ctx, conn, spec.subflows, spec.size, cc);
         });
         if let Some(rec) = self.records.get_mut(&conn) {
@@ -200,10 +224,10 @@ impl Driver {
         }
     }
 
-    fn harvest(
+    fn harvest<A: Agent<Segment>>(
         records: &mut BTreeMap<ConnKey, FlowRecord>,
         completed: &mut u64,
-        sim: &mut Sim<Segment>,
+        sim: &mut Sim<Segment, A>,
         node: NodeId,
         conn: ConnKey,
     ) {
@@ -214,7 +238,7 @@ impl Driver {
             return;
         }
         let now = sim.now();
-        sim.with_agent::<HostStack, _>(node, |stack, _| {
+        sim.with_agent::<Host, _>(node, |stack, _| {
             if let Some(stats) = stack.conn_stats(conn) {
                 rec.completed = stats.completed;
                 rec.goodput_bps = stats.goodput_bps(now);
@@ -228,26 +252,31 @@ impl Driver {
 
     /// Join an extra subflow on a running flow (the paper's Fig. 6
     /// staggers subflow establishment).
-    pub fn add_subflow(&mut self, sim: &mut Sim<Segment>, conn: ConnKey, spec: SubflowSpec) {
+    pub fn add_subflow<A: Agent<Segment>>(
+        &mut self,
+        sim: &mut Sim<Segment, A>,
+        conn: ConnKey,
+        spec: SubflowSpec,
+    ) {
         let Some(rec) = self.records.get_mut(&conn) else {
             panic!("add_subflow on unknown flow {conn}");
         };
         rec.subflows += 1;
         let node = rec.src_node;
-        sim.with_agent::<HostStack, _>(node, |stack, ctx| {
+        sim.with_agent::<Host, _>(node, |stack, ctx| {
             stack.add_subflow(ctx, conn, spec);
         });
     }
 
     /// Stop an unbounded flow and finalize its record with the stats so
     /// far (used for background flows and for time-limited runs).
-    pub fn stop_flow(&mut self, sim: &mut Sim<Segment>, conn: ConnKey) {
+    pub fn stop_flow<A: Agent<Segment>>(&mut self, sim: &mut Sim<Segment, A>, conn: ConnKey) {
         let Some(rec) = self.records.get_mut(&conn) else {
             return;
         };
         let node = rec.src_node;
         let now = sim.now();
-        sim.with_agent::<HostStack, _>(node, |stack, ctx| {
+        sim.with_agent::<Host, _>(node, |stack, ctx| {
             if let Some(stats) = stack.conn_stats(conn) {
                 rec.goodput_bps = stats.goodput_bps(now);
                 rec.mean_rtt_ns = stats.mean_rtt().map_or(0, |d| d.as_nanos());
@@ -260,7 +289,7 @@ impl Driver {
 
     /// Finalize records of still-running flows without closing them
     /// (end-of-run accounting).
-    pub fn finalize_running(&mut self, sim: &mut Sim<Segment>) {
+    pub fn finalize_running<A: Agent<Segment>>(&mut self, sim: &mut Sim<Segment, A>) {
         let now = sim.now();
         for rec in self.records.values_mut() {
             if rec.completed.is_some() {
@@ -268,7 +297,7 @@ impl Driver {
             }
             let node = rec.src_node;
             let conn = rec.conn;
-            sim.with_agent::<HostStack, _>(node, |stack, _| {
+            sim.with_agent::<Host, _>(node, |stack, _| {
                 if let Some(stats) = stack.conn_stats(conn) {
                     rec.goodput_bps = stats.goodput_bps(now);
                     rec.mean_rtt_ns = stats.mean_rtt().map_or(0, |d| d.as_nanos());
@@ -283,37 +312,48 @@ impl Driver {
     /// threshold, SRTT and — for round-based controllers (XMP/BOS) — the
     /// Fig. 2 round bookkeeping. Empty if the flow is unknown or closed.
     /// Pure observation: drives the probe layer's cwnd time series without
-    /// perturbing the flow.
-    pub fn subflow_snapshots(&self, sim: &mut Sim<Segment>, conn: ConnKey) -> Vec<SubflowSnapshot> {
-        let Some(rec) = self.records.get(&conn) else {
-            return Vec::new();
+    /// perturbing the flow. The returned slice borrows a driver-owned
+    /// scratch buffer (reused across calls so sampling loops never
+    /// allocate at steady state); it is valid until the next call.
+    pub fn subflow_snapshots<A: Agent<Segment>>(
+        &mut self,
+        sim: &mut Sim<Segment, A>,
+        conn: ConnKey,
+    ) -> &[SubflowSnapshot] {
+        self.snap_scratch.clear();
+        let Some(src_node) = self.records.get(&conn).map(|r| r.src_node) else {
+            return &self.snap_scratch;
         };
-        sim.with_agent::<HostStack, _>(rec.src_node, |stack, _| {
+        let scratch = &mut self.snap_scratch;
+        sim.with_agent::<Host, _>(src_node, |stack, _| {
             let Some(sender) = stack.sender(conn) else {
-                return Vec::new();
+                return;
             };
             let cc = sender.cc();
-            sender
-                .view()
-                .iter()
-                .enumerate()
-                .map(|(r, sub)| SubflowSnapshot {
+            scratch.extend(sender.view().iter().enumerate().map(|(r, sub)| {
+                SubflowSnapshot {
                     subflow: r,
                     cwnd: sub.cwnd,
                     ssthresh: sub.ssthresh,
                     srtt_ns: sub.srtt.map(|d| d.as_nanos()),
                     cc: cc.probe(r),
-                })
-                .collect()
-        })
+                }
+            }));
+        });
+        &self.snap_scratch
     }
 
     /// Bytes acknowledged so far on one subflow of a running flow.
-    pub fn subflow_acked(&self, sim: &mut Sim<Segment>, conn: ConnKey, r: usize) -> u64 {
+    pub fn subflow_acked<A: Agent<Segment>>(
+        &self,
+        sim: &mut Sim<Segment, A>,
+        conn: ConnKey,
+        r: usize,
+    ) -> u64 {
         let Some(rec) = self.records.get(&conn) else {
             return 0;
         };
-        sim.with_agent::<HostStack, _>(rec.src_node, |stack, _| {
+        sim.with_agent::<Host, _>(rec.src_node, |stack, _| {
             stack
                 .sender(conn)
                 .map_or(0, |s| s.subflow_acked(r.min(s.subflow_count() - 1)))
@@ -353,9 +393,9 @@ impl RateSampler {
 
     /// Average rate (bits/s) of `conn`'s subflow `r` since the previous
     /// call for the same key (0 on the first call).
-    pub fn sample(
+    pub fn sample<A: Agent<Segment>>(
         &mut self,
-        sim: &mut Sim<Segment>,
+        sim: &mut Sim<Segment, A>,
         driver: &Driver,
         conn: ConnKey,
         r: usize,
@@ -383,12 +423,12 @@ mod tests {
     use xmp_topo::Dumbbell;
     use xmp_transport::{StackConfig, DEFAULT_MSS};
 
-    fn stack() -> Box<HostStack> {
-        Box::new(HostStack::new(StackConfig::default()))
+    fn stack() -> Host {
+        HostStack::new(StackConfig::default())
     }
 
-    fn setup(n: usize) -> (Sim<Segment>, Dumbbell) {
-        let mut sim: Sim<Segment> = Sim::new(7);
+    fn setup(n: usize) -> (Sim<Segment, Host>, Dumbbell) {
+        let mut sim: Sim<Segment, Host> = Sim::new(7);
         let db = Dumbbell::build(
             &mut sim,
             n,

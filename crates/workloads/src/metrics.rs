@@ -2,7 +2,7 @@
 
 use xmp_des::SimTime;
 use xmp_netsim::network::Payload;
-use xmp_netsim::{LinkId, Sim};
+use xmp_netsim::{Agent, LinkId, Sim};
 
 /// An empirical distribution (the paper's CDF plots and percentile bars).
 #[derive(Debug, Clone)]
@@ -101,8 +101,8 @@ pub fn jain_index(xs: &[f64]) -> f64 {
 
 /// Utilization of each link over `[0, now]`, counting the busier direction
 /// of each link (the paper's Fig. 11 reports per-link utilizations).
-pub fn link_utilization<P: Payload>(
-    sim: &Sim<P>,
+pub fn link_utilization<P: Payload, A: Agent<P>>(
+    sim: &Sim<P, A>,
     links: impl IntoIterator<Item = LinkId>,
     now: SimTime,
 ) -> Vec<f64> {

@@ -20,7 +20,7 @@ use crate::driver::{Driver, FlowSpecBuilder};
 use crate::scheme::Scheme;
 use std::collections::HashMap;
 use xmp_des::{SimRng, SimTime};
-use xmp_netsim::{PortId, Sim};
+use xmp_netsim::{Agent, PortId, Sim};
 use xmp_topo::FatTree;
 use xmp_transport::{ConnKey, Segment, SubflowSpec};
 
@@ -128,11 +128,16 @@ impl PermutationPattern {
     }
 
     /// Launch the first wave at the current simulation time.
-    pub fn start(&mut self, sim: &mut Sim<Segment>, driver: &mut Driver, ft: &FatTree) {
+    pub fn start<A: Agent<Segment>>(
+        &mut self,
+        sim: &mut Sim<Segment, A>,
+        driver: &mut Driver,
+        ft: &FatTree,
+    ) {
         self.wave(sim, driver, ft);
     }
 
-    fn wave(&mut self, sim: &mut Sim<Segment>, driver: &mut Driver, ft: &FatTree) {
+    fn wave<A: Agent<Segment>>(&mut self, sim: &mut Sim<Segment, A>, driver: &mut Driver, ft: &FatTree) {
         if self.started >= self.cfg.max_flows {
             return;
         }
@@ -164,9 +169,9 @@ impl PermutationPattern {
     }
 
     /// Completion hook: starts the next wave when the current one drains.
-    pub fn on_complete(
+    pub fn on_complete<A: Agent<Segment>>(
         &mut self,
-        sim: &mut Sim<Segment>,
+        sim: &mut Sim<Segment, A>,
         driver: &mut Driver,
         ft: &FatTree,
         _conn: ConnKey,
@@ -246,16 +251,21 @@ impl RandomPattern {
     }
 
     /// Start one flow from every host.
-    pub fn start(&mut self, sim: &mut Sim<Segment>, driver: &mut Driver, ft: &FatTree) {
+    pub fn start<A: Agent<Segment>>(
+        &mut self,
+        sim: &mut Sim<Segment, A>,
+        driver: &mut Driver,
+        ft: &FatTree,
+    ) {
         self.incoming.resize(ft.hosts.len(), 0);
         for src in 0..ft.hosts.len() {
             self.launch_from(sim, driver, ft, src);
         }
     }
 
-    fn launch_from(
+    fn launch_from<A: Agent<Segment>>(
         &mut self,
-        sim: &mut Sim<Segment>,
+        sim: &mut Sim<Segment, A>,
         driver: &mut Driver,
         ft: &FatTree,
         src: usize,
@@ -283,9 +293,9 @@ impl RandomPattern {
     }
 
     /// Completion hook: the source immediately issues a new flow.
-    pub fn on_complete(
+    pub fn on_complete<A: Agent<Segment>>(
         &mut self,
-        sim: &mut Sim<Segment>,
+        sim: &mut Sim<Segment, A>,
         driver: &mut Driver,
         ft: &FatTree,
         conn: ConnKey,
@@ -344,9 +354,9 @@ impl IncastPattern {
     }
 
     /// Start `n_jobs` concurrent jobs plus the background flows.
-    pub fn start(
+    pub fn start<A: Agent<Segment>>(
         &mut self,
-        sim: &mut Sim<Segment>,
+        sim: &mut Sim<Segment, A>,
         driver: &mut Driver,
         ft: &FatTree,
         n_jobs: usize,
@@ -362,7 +372,13 @@ impl IncastPattern {
         }
     }
 
-    fn start_job(&mut self, sim: &mut Sim<Segment>, driver: &mut Driver, ft: &FatTree, j: usize) {
+    fn start_job<A: Agent<Segment>>(
+        &mut self,
+        sim: &mut Sim<Segment, A>,
+        driver: &mut Driver,
+        ft: &FatTree,
+        j: usize,
+    ) {
         let picks = self.rng.choose_distinct(ft.hosts.len(), self.fanout + 1);
         let client = picks[0];
         let now = sim.now();
@@ -380,9 +396,9 @@ impl IncastPattern {
 
     /// Completion hook for every flow in the run (jobs first, then
     /// background).
-    pub fn on_complete(
+    pub fn on_complete<A: Agent<Segment>>(
         &mut self,
-        sim: &mut Sim<Segment>,
+        sim: &mut Sim<Segment, A>,
         driver: &mut Driver,
         ft: &FatTree,
         conn: ConnKey,
@@ -452,17 +468,16 @@ mod tests {
     use super::*;
     use xmp_netsim::QdiscConfig;
     use xmp_topo::FatTreeConfig;
+    use crate::driver::Host;
     use xmp_transport::{HostStack, StackConfig};
 
-    fn small_ft(seed: u64) -> (Sim<Segment>, FatTree) {
-        let mut sim: Sim<Segment> = Sim::new(seed);
+    fn small_ft(seed: u64) -> (Sim<Segment, Host>, FatTree) {
+        let mut sim: Sim<Segment, Host> = Sim::new(seed);
         let cfg = FatTreeConfig {
             k: 4,
             ..FatTreeConfig::paper(QdiscConfig::EcnThreshold { cap: 100, k: 10 })
         };
-        let ft = FatTree::build(&mut sim, &cfg, |_| {
-            Box::new(HostStack::new(StackConfig::default()))
-        });
+        let ft = FatTree::build(&mut sim, &cfg, |_| HostStack::new(StackConfig::default()));
         (sim, ft)
     }
 

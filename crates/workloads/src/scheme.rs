@@ -1,7 +1,7 @@
 //! The named data-transfer schemes of the paper's evaluation.
 
-use xmp_core::{Bos, Xmp};
-use xmp_transport::{CongestionControl, Dctcp, Lia, Olia, Reno};
+use xmp_core::{Bos, CcKind, Xmp};
+use xmp_transport::{Dctcp, Lia, Olia, Reno};
 
 /// A congestion-control scheme plus its subflow count, as named in the
 /// paper's tables ("XMP-2", "LIA-4", "DCTCP", "TCP").
@@ -65,16 +65,19 @@ impl Scheme {
         }
     }
 
-    /// Instantiate the congestion controller.
-    pub fn make_cc(&self) -> Box<dyn CongestionControl> {
+    /// Instantiate the congestion controller. Every scheme maps to a
+    /// [`CcKind`] enum arm, so per-flow controllers live inline in the
+    /// sender (no heap box, direct dispatch); wrap the result with
+    /// [`CcKind::boxed`] to route it through the dynamic escape hatch.
+    pub fn make_cc(&self) -> CcKind {
         match *self {
-            Scheme::Tcp => Box::new(Reno::new()),
-            Scheme::Dctcp => Box::new(Dctcp::new()),
-            Scheme::Bos { beta } => Box::new(Bos::new(beta)),
-            Scheme::Lia { .. } => Box::new(Lia::new()),
-            Scheme::Olia { .. } => Box::new(Olia::new()),
-            Scheme::Xmp { beta, .. } => Box::new(Xmp::new(beta)),
-            Scheme::XmpUncoupled { beta, .. } => Box::new(Xmp::uncoupled(beta)),
+            Scheme::Tcp => CcKind::Reno(Reno::new()),
+            Scheme::Dctcp => CcKind::Dctcp(Dctcp::new()),
+            Scheme::Bos { beta } => CcKind::Bos(Bos::new(beta)),
+            Scheme::Lia { .. } => CcKind::Lia(Lia::new()),
+            Scheme::Olia { .. } => CcKind::Olia(Olia::new()),
+            Scheme::Xmp { beta, .. } => CcKind::Xmp(Xmp::new(beta)),
+            Scheme::XmpUncoupled { beta, .. } => CcKind::Xmp(Xmp::uncoupled(beta)),
         }
     }
 
@@ -104,6 +107,7 @@ impl Scheme {
 mod tests {
     use super::*;
     use xmp_transport::segment::EchoMode;
+    use xmp_transport::CongestionControl;
 
     #[test]
     fn labels_match_the_paper() {

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Perf snapshot: builds the bench runners in release mode and writes
-# BENCH_pr1.json through BENCH_pr4.json into the repo root.
+# BENCH_pr1.json through BENCH_pr5.json into the repo root.
 #
 #   bench_pr1 — scheduler microbench wheel-vs-heap, scaled-down fig1 and
 #               table1 wall clocks, serial-vs-parallel suite
@@ -10,6 +10,12 @@
 #               BENCH_pr2.json, plus the failover experiment itself
 #   bench_pr4 — probe overhead (off vs 1 ms core-link sampling) on the
 #               suite cell, engine profile counters, dynamics timing
+#   bench_pr5 — steady-state allocation rate under a counting global
+#               allocator (asserts 0 allocs/packet-hop), static vs boxed
+#               dispatch on the suite cell
+#
+# bench_trend then prints the longitudinal table1_cell_quick medians
+# across every committed BENCH_pr*.json.
 #
 # The per-figure benches remain runnable individually via
 #   cargo bench --bench fig1   (etc.)
@@ -25,3 +31,6 @@ echo "bench.sh: wrote $(pwd)/BENCH_pr2.json"
 echo "bench.sh: wrote $(pwd)/BENCH_pr3.json"
 ./target/release/bench_pr4
 echo "bench.sh: wrote $(pwd)/BENCH_pr4.json"
+./target/release/bench_pr5
+echo "bench.sh: wrote $(pwd)/BENCH_pr5.json"
+./target/release/bench_trend

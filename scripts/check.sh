@@ -6,6 +6,8 @@ cd "$(dirname "$0")/.."
 
 cargo build --workspace --release --offline
 cargo test -q --workspace --offline
+# Lint gate: clippy clean across every target (tests, benches, binaries).
+cargo clippy --workspace --all-targets --offline -- -D warnings
 # Rustdoc gate: every pub item documented, no broken intra-doc links.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 # Smoke: the failover experiment must survive a mid-run link failure

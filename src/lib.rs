@@ -64,12 +64,17 @@ pub mod prelude {
     pub use xmp_core::{Bos, Xmp, XmpParams};
     pub use xmp_des::{Bandwidth, ByteSize, SimDuration, SimRng, SimTime};
     pub use xmp_netsim::{
-        Addr, Ecn, FaultPlan, LinkParams, NodeId, PortId, QdiscConfig, Sim, SimTuning,
+        Addr, Ecn, FaultPlan, LinkParams, NodeId, PortId, Qdisc, QdiscConfig, Sim, SimTuning,
     };
     pub use xmp_topo::{Dumbbell, FatTree, FatTreeConfig, FlowCategory, Torus};
     pub use xmp_transport::{
-        CongestionControl, Dctcp, HostStack, Lia, Reno, Segment, StackConfig, SubflowSpec,
+        CongestionControl, Dctcp, Lia, Reno, Segment, StackConfig, SubflowSpec,
     };
+    // `HostStack` in the prelude is the workloads `Host` alias — the stack
+    // specialised to the statically dispatched `CcKind` controllers, which
+    // is what `Driver`/`Scheme` drive. The generic stack stays available as
+    // `xmp_transport::HostStack<C>`.
+    pub use xmp_workloads::Host as HostStack;
     pub use xmp_workloads::{
         jain_index, Cdf, Driver, FlowSpecBuilder, IncastPattern, PatternConfig,
         PermutationPattern, RandomPattern, RateSampler, Scheme,
