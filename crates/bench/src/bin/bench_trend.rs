@@ -108,6 +108,39 @@ fn main() {
         eprintln!("bench_trend: no snapshot carries a table1_cell_quick section");
         std::process::exit(1);
     }
+
+    // Macro throughput series: events handled per wall-clock second inside
+    // the event loop, normalized per workload rather than per host.
+    // Snapshots without the field (PR 4 and PR 5 dropped it; PR 6 brought
+    // it back) simply drop out of this table.
+    let mut printed_eps = false;
+    for (name, doc) in &snapshots {
+        let row: Vec<Option<f64>> = COMBOS
+            .iter()
+            .map(|combo| prior_ms(doc, "table1_cell_quick", combo, "events_per_sec"))
+            .collect();
+        if row.iter().all(Option::is_none) {
+            continue;
+        }
+        if !printed_eps {
+            println!();
+            println!("table1_cell_quick events_per_sec across PR snapshots (Mev/s)");
+            print!("{:<16}", "snapshot");
+            for combo in COMBOS {
+                print!("{combo:>24}");
+            }
+            println!();
+            printed_eps = true;
+        }
+        print!("{name:<16}");
+        for cell in &row {
+            match cell {
+                Some(eps) => print!("{:>24}", format!("{:.2} Mev/s", eps / 1e6)),
+                None => print!("{:>24}", "-"),
+            }
+        }
+        println!();
+    }
     println!(
         "note: snapshots come from different sessions on a shared host; \
          cross-PR ratios mix real speedups with host drift. Trust \

@@ -14,13 +14,15 @@
 //!   ablation  beta/K sweep, TraSh-coupling ablation, OLIA comparison
 //!   failover  goodput through a mid-transfer core-link failure
 //!   dynamics  Fig.2-style cwnd/queue time series, exported to results/
+//!   scale     partitioned vs serial wall clock on one large cell,
+//!             digest-checked (exits nonzero on a digest mismatch)
 //!   trace     export | report [files...] — write / summarize JSONL traces
-//!   all       everything above (except trace)
+//!   all       everything above (except trace and scale)
 //! ```
 
 use std::time::Instant;
 use xmp_experiments::suite::{self, Pattern, SuiteConfig};
-use xmp_experiments::{ablation, dynamics, failover, fig1, fig4, fig6, fig7, report, table2};
+use xmp_experiments::{ablation, dynamics, failover, fig1, fig4, fig6, fig7, report, scale, table2};
 use xmp_workloads::Scheme;
 
 #[derive(Debug, Clone)]
@@ -30,6 +32,7 @@ struct Opts {
     scale: u64,
     flows: usize,
     pattern: Option<String>,
+    workers: usize,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -39,6 +42,7 @@ fn parse_opts(args: &[String]) -> Opts {
         scale: 128,
         flows: 2000,
         pattern: None,
+        workers: 4,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -48,6 +52,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--scale" => o.scale = it.next().expect("--scale N").parse().expect("scale"),
             "--flows" => o.flows = it.next().expect("--flows N").parse().expect("flows"),
             "--pattern" => o.pattern = Some(it.next().expect("--pattern NAME").to_lowercase()),
+            "--workers" => o.workers = it.next().expect("--workers N").parse().expect("workers"),
             other => {
                 eprintln!("unknown option {other}");
                 std::process::exit(2);
@@ -247,10 +252,25 @@ fn run_failover(o: &Opts) {
     println!("{r}");
 }
 
+fn run_scale(o: &Opts) {
+    let mut cfg = if o.quick {
+        scale::ScaleConfig::quick()
+    } else {
+        scale::ScaleConfig::default_cfg()
+    };
+    cfg.seed = o.seed;
+    cfg.workers = vec![1, o.workers];
+    let r = timed("scale", || scale::run(&cfg));
+    println!("{r}");
+    if !r.digests_match {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: xmp-experiments <fig1|fig4|fig6|fig7|fattree|table2|ablation|failover|dynamics|trace|all> [--quick] [--seed N] [--scale N] [--flows N]");
+        eprintln!("usage: xmp-experiments <fig1|fig4|fig6|fig7|fattree|table2|ablation|failover|dynamics|scale|trace|all> [--quick] [--seed N] [--scale N] [--flows N] [--workers N]");
         std::process::exit(2);
     };
     // `trace` takes file paths, which parse_opts would reject.
@@ -275,6 +295,7 @@ fn main() {
         "table2" => run_table2(&o),
         "failover" => run_failover(&o),
         "dynamics" => run_dynamics(&o),
+        "scale" => run_scale(&o),
         "ablation" => {
             let cfg = if o.quick {
                 ablation::AblationConfig::quick()

@@ -14,6 +14,7 @@
 //! | (extensions) | [`failover`] | goodput through a mid-transfer core-link failure |
 //! | Fig. 2 (dynamics) | [`dynamics`] | cwnd/queue/mark time series, exported as JSONL |
 //! | (tooling) | [`report`] | summaries rendered back from exported traces |
+//! | (scaling) | [`scale`] | partitioned vs serial wall clock on one large cell, digest-checked |
 //!
 //! Each module exposes a `Config` (with paper defaults and a `quick()`
 //! variant for benches), a `run` function, and a `Display`able result that
@@ -29,6 +30,7 @@ pub mod fig4;
 pub mod fig6;
 pub mod fig7;
 pub mod report;
+pub mod scale;
 pub mod suite;
 pub mod table2;
 

@@ -169,3 +169,124 @@ fn dynamics_export_is_byte_identical_across_tunings() {
         );
     }
 }
+
+/// A faulted, probed k = 4 fat-tree cell with pre-submitted cross-pod
+/// XMP-2 + DCTCP flows, run under `workers` threads; returns every
+/// digest a serial observer could take (final clock, flow records, audit,
+/// probe records, per-kind event counts). Pre-submitted flows make the
+/// partitioned run *bit-identical* to serial — nothing chains on
+/// completion, so window-boundary callback timing cannot shift the
+/// workload.
+fn partitioned_fat_tree_run(
+    tuning: SimTuning,
+    workers: usize,
+) -> (u64, String, String, String, (u64, u64, u64)) {
+    use xmp_netsim::PartitionedSim;
+    use xmp_topo::{FatTree, FatTreeConfig};
+    use xmp_transport::{HostStack, StackConfig};
+    use xmp_workloads::FlowSim;
+
+    let mut sim: Sim<Segment, Host> = Sim::new(7);
+    sim.set_tuning(tuning);
+    let ft_cfg = FatTreeConfig {
+        k: 4,
+        ..FatTreeConfig::paper(QdiscConfig::EcnThreshold { cap: 100, k: 10 })
+    };
+    let stack_cfg = StackConfig::default().with_rto_min(SimDuration::from_millis(200));
+    let ft = FatTree::build(&mut sim, &ft_cfg, |_| HostStack::new(stack_cfg.clone()));
+    let end = SimTime::from_millis(50);
+
+    // Faults and probes both live on a core link — the partition cut.
+    let watched = ft.core_link(0, 0, 0);
+    sim.install_fault_plan(
+        &FaultPlan::new()
+            .link_down(SimTime::from_millis(15), watched)
+            .link_up(SimTime::from_millis(25), watched),
+    );
+    sim.install_probes(
+        ProbeConfig::every(SimDuration::from_millis(1))
+            .until(end)
+            .watch_queue(watched, 0)
+            .watch_queue(watched, 1)
+            .with_marks(),
+    );
+
+    // Cross-pod flows from every pod, alternating schemes.
+    let mut driver = Driver::new();
+    let n = ft.hosts.len();
+    for i in 0..n {
+        let dst = (i + n / 2) % n;
+        let scheme = if i % 2 == 0 { Scheme::xmp(2) } else { Scheme::Dctcp };
+        let tags: Vec<usize> = match scheme.subflow_count() {
+            1 => vec![0],
+            _ => vec![0, ft.tag_count() - 1],
+        };
+        driver.submit(FlowSpecBuilder {
+            src_node: ft.host(i),
+            subflows: tags
+                .iter()
+                .map(|&t| SubflowSpec {
+                    local_port: PortId(0),
+                    src: ft.host_addr(i, t),
+                    dst: ft.host_addr(dst, t),
+                })
+                .collect(),
+            size: 300_000,
+            scheme,
+            start: SimTime::ZERO + SimDuration::from_micros(i as u64),
+            category: Some(ft.category(i, dst)),
+            tag: i as u64,
+        });
+    }
+
+    fn drive<S: FlowSim>(sim: &mut S, driver: &mut Driver, end: SimTime) {
+        let slice = SimDuration::from_millis(5);
+        while sim.now() < end {
+            let t = (sim.now() + slice).min(end);
+            driver.run(sim, t, |_, _, _| {});
+        }
+        driver.finalize_running(sim);
+    }
+    let mut sim = if workers > 1 {
+        let plan = ft.partition_plan(workers);
+        let mut psim = PartitionedSim::new(sim, &plan);
+        drive(&mut psim, &mut driver, end);
+        psim.finish()
+    } else {
+        drive(&mut sim, &mut driver, end);
+        sim
+    };
+
+    let audit = format!("{:?}", sim.audit_conservation());
+    let flows = format!("{:?}", driver.records().collect::<Vec<_>>());
+    let probes = format!(
+        "{:?}",
+        sim.take_probes().expect("probes installed").records()
+    );
+    let p = sim.profile();
+    (
+        sim.now().as_nanos(),
+        flows,
+        audit,
+        probes,
+        (p.deliver, p.tx_done, p.timer),
+    )
+}
+
+#[test]
+fn partitioned_fat_tree_matches_serial_across_tunings_and_workers() {
+    // The tentpole's determinism contract: sharding one simulation across
+    // threads changes *nothing observable* — not the flow records, not the
+    // conservation audit, not the probe time series, not the per-kind
+    // event counts — under every tuning combination, with a core link
+    // flapping and probes watching it. (`events_processed` and the
+    // fault/sample counts are intentionally excluded: fault timelines and
+    // sampling ticks are replicated per shard by design.)
+    for tuning in TUNINGS {
+        let serial = partitioned_fat_tree_run(tuning, 1);
+        for workers in [2usize, 4] {
+            let sharded = partitioned_fat_tree_run(tuning, workers);
+            assert_eq!(serial, sharded, "tuning {tuning:?} workers {workers}");
+        }
+    }
+}

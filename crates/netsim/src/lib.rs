@@ -18,8 +18,11 @@
 //! * [`network::Sim`] — the event loop tying nodes, links and host
 //!   [`agent::Agent`]s together on top of the `xmp-des` kernel.
 //!
-//! Everything is single-threaded and deterministic: same topology + same
-//! seed ⇒ bit-identical results.
+//! Everything is deterministic: same topology + same seed ⇒ bit-identical
+//! results. Runs are single-threaded by default; a
+//! [`network::partition::PartitionedSim`] shards one simulation across
+//! threads with a conservative synchronization protocol that preserves
+//! bit-identity with the serial run.
 
 #![warn(missing_docs)]
 
@@ -43,6 +46,7 @@ pub use agent::{Agent, Ctx};
 pub use fault::{FaultEvent, FaultPlan};
 pub use fib::{AddrIndex, CompiledFib, FibBuilder, FibEntry};
 pub use link::{FaultConfig, LinkId, LinkParams};
+pub use network::partition::{PartitionPlan, PartitionedSim};
 pub use network::{AuditReport, NetEvent, Sim, SimTuning};
 pub use node::{NodeId, PortId};
 pub use packet::{Ecn, FlowId, Packet};

@@ -195,6 +195,9 @@ pub struct Link<P> {
     pub dirs: [Direction<P>; 2],
     /// Optional label from the topology builder (e.g. `"L3"`).
     pub label: String,
+    /// The queue configuration both directions were built from, kept so a
+    /// partitioned run can replicate pristine direction state per shard.
+    pub(crate) qcfg: QdiscConfig,
 }
 
 impl<P> Link<P> {
@@ -229,6 +232,46 @@ impl<P> Link<P> {
             delay: params.delay,
             dirs: [mk_dir(b, 0), mk_dir(a, 1)],
             label,
+            qcfg: params.queue.clone(),
+        }
+    }
+
+    /// Clone this link with **pristine** dynamic state: a fresh queue built
+    /// from the stored config, no packet in flight, an empty lazy pipeline,
+    /// and copies of the stats/RNG/fault state. Only valid before any
+    /// traffic has run (asserted), so a partitioned run can hand every
+    /// shard an identical replica of the full link table.
+    pub(crate) fn replicate(&self) -> Self
+    where
+        P: Send + 'static,
+    {
+        let rep_dir = |d: &Direction<P>| {
+            assert!(
+                d.in_flight.is_none() && d.queue.len() == 0 && d.pending.is_empty(),
+                "link replication requires a pristine link (no traffic yet)"
+            );
+            Direction {
+                to_node: d.to_node,
+                to_port: d.to_port,
+                queue: self.qcfg.build(),
+                in_flight: None,
+                stats: d.stats.clone(),
+                fault: d.fault,
+                fault_rng: d.fault_rng.clone(),
+                corrupt_rng: d.corrupt_rng.clone(),
+                down: d.down,
+                fail_gen: d.fail_gen,
+                in_network: d.in_network,
+                busy_until: d.busy_until,
+                pending: VecDeque::new(),
+            }
+        };
+        Link {
+            bandwidth: self.bandwidth,
+            delay: self.delay,
+            dirs: [rep_dir(&self.dirs[0]), rep_dir(&self.dirs[1])],
+            label: self.label.clone(),
+            qcfg: self.qcfg.clone(),
         }
     }
 

@@ -30,6 +30,9 @@ use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
 use std::collections::VecDeque;
 use xmp_des::{Engine, SimRng, SimTime};
 
+#[path = "partition.rs"]
+pub mod partition;
+
 /// Payload requirements for simulated packets.
 pub trait Payload: Clone + std::fmt::Debug + Send + 'static {}
 impl<T: Clone + std::fmt::Debug + Send + 'static> Payload for T {}
@@ -170,6 +173,39 @@ fn fault_key(idx: u32) -> u64 {
 /// pipelines (`u64::MAX` exceeds every `fault_key`, whose index is a u32).
 const SAMPLE_KEY: u64 = u64::MAX;
 
+/// Identity rank of the event `ev` would be scheduled under — the same key
+/// `schedule_keyed` orders it by at an instant. Partitioned shards stamp
+/// probe records with the rank of the event being processed so the merge
+/// can reproduce the serial record order exactly (see
+/// [`partition::PartitionedSim`]).
+fn event_rank<P>(ev: &NetEvent<P>) -> u64 {
+    match ev {
+        NetEvent::Deliver { link, dir, .. } => deliver_key(*link, *dir),
+        NetEvent::TxDone { link, dir, .. } => tx_done_key(*link, *dir),
+        NetEvent::Timer { node, .. } => timer_key(*node),
+        NetEvent::Fault { idx } => fault_key(*idx),
+        NetEvent::Sample => SAMPLE_KEY,
+    }
+}
+
+/// Per-shard bookkeeping present only while this `Sim` is one partition of
+/// a [`partition::PartitionedSim`]. `None` in serial runs: the hot path
+/// pays exactly one branch per scheduled delivery.
+pub(crate) struct ShardState<P> {
+    /// Per link, bit `dir` set means direction `dir`'s receiving node lives
+    /// on another shard: its `Deliver` goes to the outbox, not the engine.
+    pub(crate) remote_rx: Vec<u8>,
+    /// Cross-partition deliveries produced this round, in emission order:
+    /// `(arrival, link, dir, fail_gen, pkt)`.
+    pub(crate) outbox: Vec<(SimTime, LinkId, u8, u32, Packet<P>)>,
+    /// Identity rank of the event (or driver operation) currently being
+    /// processed; stamped on probe records for the deterministic merge.
+    pub(crate) rank: (u64, u64),
+    /// Per probe-watch index: whether this shard owns the transmit side
+    /// (records `Queue`/`Mark`) and the receive side (records `Util`).
+    pub(crate) watch_roles: Vec<(bool, bool)>,
+}
+
 /// The whole simulation.
 ///
 /// Generic over the agent type `A` running on hosts. The default,
@@ -221,6 +257,8 @@ pub struct Sim<P: Payload, A: Agent<P> = Box<dyn Agent<P>>> {
     /// Conservation audit: packets dropped anywhere, for any counted
     /// reason (qdisc, fault, corruption, blackhole, no-route).
     audit_dropped: u64,
+    /// Set iff this sim is one shard of a [`partition::PartitionedSim`].
+    part: Option<Box<ShardState<P>>>,
 }
 
 /// Packet-conservation snapshot from [`Sim::audit_conservation`]: every
@@ -264,6 +302,7 @@ impl<P: Payload, A: Agent<P>> Sim<P, A> {
             audit_injected: 0,
             audit_delivered: 0,
             audit_dropped: 0,
+            part: None,
         }
     }
 
@@ -384,23 +423,42 @@ impl<P: Payload, A: Agent<P>> Sim<P, A> {
         let now = self.engine.now();
         for i in 0..p.watch.len() {
             let (link, dir) = p.watch[i];
-            let depth = self.queue_depth(link, dir) as u64;
-            let stats = &self.links[link.0 as usize].dir(dir).stats;
-            p.push(ProbeRecord::Queue {
-                at: now,
-                link: link.0,
-                dir,
-                depth,
-                enqueued: stats.enqueued,
-                marked: stats.marked,
-                dropped: stats.dropped,
-            });
-            p.push(ProbeRecord::Util {
-                at: now,
-                link: link.0,
-                dir,
-                delivered_bytes: stats.delivered_bytes.as_bytes(),
-            });
+            // In a partitioned shard, the transmit owner records the queue
+            // series (depth and enqueue/mark/drop counters live tx-side)
+            // and the receive owner records the utilization series
+            // (delivery counters live rx-side). Serial records both.
+            let (tx_role, rx_role) = match self.part.as_ref() {
+                Some(ps) => ps.watch_roles[i],
+                None => (true, true),
+            };
+            if tx_role {
+                let depth = self.queue_depth(link, dir) as u64;
+                let stats = &self.links[link.0 as usize].dir(dir).stats;
+                p.push_ranked(
+                    ProbeRecord::Queue {
+                        at: now,
+                        link: link.0,
+                        dir,
+                        depth,
+                        enqueued: stats.enqueued,
+                        marked: stats.marked,
+                        dropped: stats.dropped,
+                    },
+                    (SAMPLE_KEY, (i as u64) * 2),
+                );
+            }
+            if rx_role {
+                let stats = &self.links[link.0 as usize].dir(dir).stats;
+                p.push_ranked(
+                    ProbeRecord::Util {
+                        at: now,
+                        link: link.0,
+                        dir,
+                        delivered_bytes: stats.delivered_bytes.as_bytes(),
+                    },
+                    (SAMPLE_KEY, (i as u64) * 2 + 1),
+                );
+            }
         }
         let next = now + p.interval;
         if next <= p.until {
@@ -660,14 +718,41 @@ impl<P: Payload, A: Agent<P>> Sim<P, A> {
     }
 
     /// Repair both directions of `link`. In-flight state was already
-    /// purged at failure; recompiling the FIBs (the PR 2 invalidation
-    /// path — cleared here, rebuilt at the next `run_until`) restores
+    /// purged at failure; recompiling the two endpoints' FIBs restores
     /// compiled forwarding over the link.
+    ///
+    /// The recompilation is **incremental**: `take_link_down` only demoted
+    /// entries in the two endpoint switches' compiled tables, so repair
+    /// rebuilds exactly those two tables instead of invalidating the whole
+    /// fleet and falling back to the dynamic router until the next
+    /// `run_until`. Behaviour-identical to the full recompile (a compiled
+    /// entry forwards exactly where the dynamic router would, and routing
+    /// consumes no RNG), but the repair path stays off the slow path — and
+    /// off the per-run full `compile_fibs` rebuild — for the rest of the
+    /// run.
     pub fn bring_link_up(&mut self, link: LinkId) {
+        let l = &self.links[link.0 as usize];
+        let ends = [l.dirs[0].to_node, l.dirs[1].to_node];
         for d in &mut self.links[link.0 as usize].dirs {
             d.down = false;
         }
-        self.fibs_ready = false;
+        if !self.fibs_ready || !self.tuning.compiled_fib {
+            // Nothing compiled yet (or compilation disabled): the next
+            // `run_until` builds from scratch anyway.
+            return;
+        }
+        let dsts: Vec<Addr> = self
+            .addr_book
+            .iter()
+            .map(|&(k, _)| Addr(k.to_be_bytes()))
+            .collect();
+        let wall = std::time::Instant::now();
+        for node in ends {
+            if let NodeKind::Switch(r) = &self.nodes[node.0 as usize].kind {
+                self.fibs[node.0 as usize] = r.compile(&dsts);
+            }
+        }
+        self.profile.fib_compile_ns += wall.elapsed().as_nanos() as u64;
     }
 
     /// Packets dropped for lack of a route (only under
@@ -851,6 +936,12 @@ impl<P: Payload, A: Agent<P>> Sim<P, A> {
     }
 
     fn handle(&mut self, ev: NetEvent<P>) {
+        if let Some(ps) = self.part.as_mut() {
+            // Probe records and signals produced while handling this event
+            // carry its identity rank, so the cross-shard merge can restore
+            // the serial order at equal timestamps.
+            ps.rank = (event_rank(&ev), 0);
+        }
         match ev {
             NetEvent::TxDone { link, dir, gen } => {
                 self.profile.tx_done += 1;
@@ -912,16 +1003,28 @@ impl<P: Payload, A: Agent<P>> Sim<P, A> {
             .in_flight
             .take()
             .expect("TxDone with nothing in flight");
-        self.engine.schedule_keyed(
-            now + delay,
-            deliver_key(link, dir),
-            NetEvent::Deliver {
-                link,
-                dir,
-                gen,
-                pkt,
-            },
-        );
+        let remote = match self.part.as_ref() {
+            Some(ps) => ps.remote_rx[link.0 as usize] & (1 << dir) != 0,
+            None => false,
+        };
+        if remote {
+            self.part
+                .as_mut()
+                .expect("remote implies shard state")
+                .outbox
+                .push((now + delay, link, dir, gen, pkt));
+        } else {
+            self.engine.schedule_keyed(
+                now + delay,
+                deliver_key(link, dir),
+                NetEvent::Deliver {
+                    link,
+                    dir,
+                    gen,
+                    pkt,
+                },
+            );
+        }
         if let Some(next) = d.queue.dequeue() {
             let tx = bandwidth.transmission_time(next.size);
             d.in_flight = Some(next);
@@ -1236,7 +1339,8 @@ impl<P: Payload, A: Agent<P>> Sim<P, A> {
             if outcome == EnqueueOutcome::EnqueuedMarked {
                 d.stats.marked += 1;
                 if let Some(p) = self.probes.as_mut() {
-                    p.on_mark(now, link, dir);
+                    let rank = self.part.as_ref().map(|ps| ps.rank);
+                    p.on_mark(now, link, dir, rank);
                 }
             }
             if let Some(t) = self.trace.as_mut() {
@@ -1259,16 +1363,29 @@ impl<P: Payload, A: Agent<P>> Sim<P, A> {
             d.busy_until = depart;
             d.pending.push_back((start, depart));
             d.stats.observe_backlog(now, d.pending.len());
-            self.engine.schedule_keyed(
-                depart + delay,
-                deliver_key(link, dir),
-                NetEvent::Deliver {
-                    link,
-                    dir,
-                    gen: d.fail_gen,
-                    pkt,
-                },
-            );
+            let remote = match self.part.as_ref() {
+                Some(ps) => ps.remote_rx[link.0 as usize] & (1 << dir) != 0,
+                None => false,
+            };
+            if remote {
+                let gen = d.fail_gen;
+                self.part
+                    .as_mut()
+                    .expect("remote implies shard state")
+                    .outbox
+                    .push((depart + delay, link, dir, gen, pkt));
+            } else {
+                self.engine.schedule_keyed(
+                    depart + delay,
+                    deliver_key(link, dir),
+                    NetEvent::Deliver {
+                        link,
+                        dir,
+                        gen: d.fail_gen,
+                        pkt,
+                    },
+                );
+            }
             return;
         }
         let (flow, size) = (pkt.flow, pkt.size.as_bytes());
@@ -1293,8 +1410,9 @@ impl<P: Payload, A: Agent<P>> Sim<P, A> {
                 d.in_network += 1;
                 if outcome == EnqueueOutcome::EnqueuedMarked {
                     d.stats.marked += 1;
+                    let rank = self.part.as_ref().map(|ps| ps.rank);
                     if let Some(p) = self.probes.as_mut() {
-                        p.on_mark(now, link, dir);
+                        p.on_mark(now, link, dir, rank);
                     }
                 }
                 if let Some(t) = self.trace.as_mut() {

@@ -1,0 +1,1254 @@
+//! Partitioned parallel simulation: one `Sim` sharded across threads,
+//! bit-identical to the serial run.
+//!
+//! # Model
+//!
+//! A [`PartitionPlan`] assigns every node to one of `W` shards. Each shard
+//! is a complete [`Sim`] of its own — its own event wheel, RNG streams,
+//! qdisc storage and stats — holding the **real** node/agent/timer state
+//! for its assigned nodes and lightweight placeholders for everyone else.
+//! The link table is **fully replicated**: every shard carries a pristine
+//! copy of every link so global link indices (and therefore the
+//! per-direction RNG stream derivations) are preserved without remapping.
+//! Per direction, exactly one shard is *transmit-authoritative* (the shard
+//! owning the sending node runs the qdisc, fault draws and serialization)
+//! and one is *receive-authoritative* (the shard owning the receiving node
+//! processes the `Deliver`, draws corruption and dispatches). For most
+//! links both are the same shard; for **cut links** they differ, and the
+//! transmit side pushes the delivery into an outbox instead of its own
+//! wheel.
+//!
+//! # Conservative synchronization
+//!
+//! Workers advance in rounds bounded by the *lookahead* `L`: the minimum
+//! propagation delay over all cut links. A `Deliver` handed off while
+//! processing an event at `t ∈ (h, h+L]` arrives at
+//! `depart + delay > h + L` (serialization is strictly positive and the
+//! cut link's delay is at least `L`), i.e. strictly after the round's
+//! horizon — so exchanging outboxes at the round barrier, *before* the
+//! next round runs, can never violate causality. Each round is: run every
+//! shard's wheel to the horizon in parallel, barrier, drain outboxes into
+//! per-target buffers, barrier, sort and schedule the received deliveries,
+//! barrier, advance the horizon.
+//!
+//! # Determinism
+//!
+//! The contract is **bit-identity with the serial run**, which rests on
+//! the identity-keyed `(time, key)` event ordering:
+//!
+//! * two events with equal `(time, key)` share their identity (same link
+//!   direction, same node), hence live on the same shard — cross-shard
+//!   ties are impossible, and merging per-shard event streams sorted by
+//!   `(time, key)` reproduces the serial order exactly;
+//! * received deliveries are sorted by `(arrival, key, source order)`
+//!   before scheduling, so the merge is independent of thread timing and
+//!   lock acquisition order;
+//! * every RNG draw happens on the shard that is authoritative for that
+//!   stream (fault draws tx-side, corruption draws rx-side, per-direction
+//!   streams derived from the *global* link index), so each stream
+//!   advances exactly as in the serial run;
+//! * probe records carry a merge rank — the identity key of the event
+//!   being processed when they were recorded — so the reassembled record
+//!   list is byte-identical to the serial export.
+//!
+//! Fault events are replicated to every shard (each holds the full link
+//! table, so down/up transitions evolve identically everywhere); agent
+//! signals are collected per shard and replayed to the driver callback in
+//! serial event order after each window.
+//!
+//! Driver callbacks run at window boundaries rather than mid-window, so
+//! workloads that *inject new flows from completion callbacks* see those
+//! flows start at the end of the current window — statistically
+//! equivalent, not bit-identical. Pre-submitted workloads with
+//! harvest-only callbacks (the determinism tests, the scale experiment and
+//! the benchmarks) are bit-identical end to end.
+
+use super::{
+    deliver_key, event_rank, AuditReport, NetEvent, Payload, ShardState, Sim, TimerState,
+    SAMPLE_KEY,
+};
+use crate::agent::{Agent, Ctx};
+use crate::link::{Link, LinkId};
+use crate::node::{Node, NodeId, NodeKind};
+use crate::probe::{ProbeConfig, ProbeRecord, Probes, SimProfile};
+use std::collections::VecDeque;
+use std::sync::{Barrier, Mutex};
+use xmp_des::{Engine, SimDuration, SimRng, SimTime};
+
+/// Merge-rank namespace for driver operations ([`PartitionedSim::with_agent`]):
+/// they rank after every same-instant engine event and probe sample, in call
+/// order — exactly where the serial run performs them (after `run_until`
+/// returns at that instant).
+const DRIVER_RANK_BASE: u64 = 1 << 32;
+
+/// Assignment of every node to a shard (worker thread).
+///
+/// Topology builders produce plans (e.g.
+/// `FatTree::partition_plan` in the `topo` crate assigns pods to shards
+/// and spreads core switches round-robin); any assignment is valid — the
+/// partitioning is bit-identical regardless — but wall-clock speedup needs
+/// balanced shards and long cut-link delays (the lookahead).
+#[derive(Clone, Debug)]
+pub struct PartitionPlan {
+    assignment: Vec<u32>,
+    workers: usize,
+}
+
+impl PartitionPlan {
+    /// Plan from an explicit per-node shard assignment. Shard ids must be
+    /// dense (every id in `0..=max` used is fine; gaps just produce idle
+    /// workers).
+    pub fn new(assignment: Vec<u32>) -> Self {
+        assert!(!assignment.is_empty(), "empty partition plan");
+        let workers = assignment.iter().map(|&s| s as usize + 1).max().unwrap_or(1);
+        PartitionPlan {
+            assignment,
+            workers,
+        }
+    }
+
+    /// The trivial plan: all `nodes` on one shard.
+    pub fn single(nodes: usize) -> Self {
+        PartitionPlan::new(vec![0; nodes])
+    }
+
+    /// Number of shards (worker threads).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The per-node shard assignment.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Shard owning `node`.
+    pub fn owner(&self, node: NodeId) -> u32 {
+        self.assignment[node.0 as usize]
+    }
+}
+
+/// A cross-shard delivery in flight through the broker:
+/// `(arrival, link, dir, fail_gen, packet, source sequence)`.
+type Handoff<P> = (SimTime, LinkId, u8, u32, crate::packet::Packet<P>, u64);
+
+/// An agent signal captured on a shard during a window:
+/// `(time, merge rank, node, code)`.
+type SignalRec = (SimTime, (u64, u64), NodeId, u64);
+
+/// Shard-0 metadata threaded through `finish` into the merged sim:
+/// `(addr_book, rng, tuning, fault_timeline)`.
+type SimMeta = (
+    Vec<(u32, NodeId)>,
+    SimRng,
+    super::SimTuning,
+    Vec<crate::fault::FaultEvent>,
+);
+
+/// A [`Sim`] sharded across `std::thread` workers.
+///
+/// Build the full topology (and install fault plans / probes) on a single
+/// pristine `Sim`, then hand it to [`PartitionedSim::new`] with a plan.
+/// Drive it with the same `run_until` / `advance_to` / `with_agent` calls
+/// a serial sim takes, and call [`PartitionedSim::finish`] to reassemble
+/// one serial `Sim` holding the merged end state — stats, probe records,
+/// audit counters and pending events all bit-identical to a serial run of
+/// the same workload.
+pub struct PartitionedSim<P: Payload, A: Agent<P> + Send> {
+    shards: Vec<Sim<P, A>>,
+    /// Node → owning shard.
+    owner: Vec<u32>,
+    /// Link → per-direction `(tx shard, rx shard)`.
+    dir_owner: Vec<[(u32, u32); 2]>,
+    /// Conservative round bound: minimum cut-link propagation delay.
+    /// `None` when no link crosses shards (single round per window).
+    lookahead: Option<SimDuration>,
+    /// Driver-visible clock (advanced by `run_until`/`advance_to`).
+    clock: SimTime,
+    /// Driver-operation counter backing `with_agent` merge ranks.
+    op_seq: u64,
+    /// Wall-clock nanoseconds spent inside `run_until` (whole-window, so
+    /// barrier and exchange overhead is included; becomes the merged
+    /// profile's `run_wall_ns`).
+    wall_ns: u64,
+    /// Probe configuration replicated to every shard (`None` = unprobed).
+    probe_cfg: Option<ProbeConfig>,
+    /// Records pushed before partitioning (e.g. a `Meta` line); prepended
+    /// to the merged record list by `finish`.
+    probe_preamble: Vec<ProbeRecord>,
+    /// Signals raised by driver operations (`with_agent`) between windows,
+    /// stamped with the operation's rank; delivered by the next `run_until`.
+    pending_signals: Vec<SignalRec>,
+}
+
+impl<P: Payload, A: Agent<P> + Send> PartitionedSim<P, A> {
+    /// Shard a pristine sim according to `plan`.
+    ///
+    /// # Panics
+    /// Panics if the sim has already run (events processed, traffic on any
+    /// link, or a non-zero clock), has tracing enabled (the ring buffer is
+    /// inherently serial), or the plan's length does not match the node
+    /// count.
+    pub fn new(sim: Sim<P, A>, plan: &PartitionPlan) -> Self {
+        assert!(
+            sim.trace.is_none(),
+            "packet tracing is unsupported in partitioned runs"
+        );
+        assert_eq!(
+            sim.engine.now(),
+            SimTime::ZERO,
+            "partitioning requires a pristine sim (clock at zero)"
+        );
+        assert_eq!(
+            plan.assignment.len(),
+            sim.nodes.len(),
+            "partition plan length does not match node count"
+        );
+        assert!(sim.signals.is_empty(), "undrained signals at partition time");
+        let w = plan.workers();
+        let owner = plan.assignment.clone();
+
+        // Per-direction authority and the conservative lookahead. The
+        // sender of `dirs[d]` is the *other* end: `dirs[d]` delivers to
+        // `dirs[d].to_node`, which `dirs[d^1].to_node` transmits toward.
+        let mut dir_owner = Vec::with_capacity(sim.links.len());
+        let mut lookahead: Option<SimDuration> = None;
+        for l in &sim.links {
+            let mut per = [(0u32, 0u32); 2];
+            for d in 0..2usize {
+                let tx = owner[l.dirs[d ^ 1].to_node.0 as usize];
+                let rx = owner[l.dirs[d].to_node.0 as usize];
+                per[d] = (tx, rx);
+                if tx != rx {
+                    assert!(
+                        l.delay > SimDuration::ZERO,
+                        "cut link {} has zero propagation delay (no lookahead)",
+                        l.label
+                    );
+                    lookahead = Some(match lookahead {
+                        Some(cur) => cur.min(l.delay),
+                        None => l.delay,
+                    });
+                }
+            }
+            dir_owner.push(per);
+        }
+
+        let Sim {
+            engine,
+            nodes,
+            links,
+            agents,
+            addr_book,
+            timers,
+            signals: _,
+            emit_pool: _,
+            rng,
+            trace: _,
+            probes,
+            profile: _,
+            tuning,
+            addr_index: _,
+            fibs: _,
+            fibs_ready: _,
+            fault_timeline,
+            unroutable,
+            audit_injected,
+            audit_delivered,
+            audit_dropped,
+            part,
+        } = sim;
+        assert!(part.is_none(), "sim is already a shard of a partitioned run");
+
+        // Probe state: keep the config (replicated to every shard so the
+        // sampling tick phase is uniform) and any pre-run records.
+        let mut probe_preamble = Vec::new();
+        let probe_cfg = probes.map(|mut p| {
+            probe_preamble = p.take_records();
+            ProbeConfig {
+                interval: p.interval,
+                until: p.until,
+                watch: std::mem::take(&mut p.watch),
+                record_marks: p.record_marks,
+            }
+        });
+
+        // Nodes, agents and timer tables: the real state moves to the
+        // owner; other shards get an agent-less placeholder host carrying
+        // the same port table (fault handling iterates ports everywhere).
+        let mut shard_nodes: Vec<Vec<Node>> = (0..w).map(|_| Vec::with_capacity(nodes.len())).collect();
+        for (i, node) in nodes.into_iter().enumerate() {
+            let own = owner[i] as usize;
+            for (s, sn) in shard_nodes.iter_mut().enumerate() {
+                if s != own {
+                    sn.push(Node {
+                        kind: NodeKind::Host,
+                        ports: node.ports.clone(),
+                        label: node.label.clone(),
+                    });
+                }
+            }
+            shard_nodes[own].push(node);
+        }
+        let mut shard_agents: Vec<Vec<Option<A>>> = (0..w).map(|_| Vec::with_capacity(owner.len())).collect();
+        for (i, mut a) in agents.into_iter().enumerate() {
+            let own = owner[i] as usize;
+            for (s, sa) in shard_agents.iter_mut().enumerate() {
+                sa.push(if s == own { a.take() } else { None });
+            }
+        }
+        let mut shard_timers: Vec<Vec<crate::hash::FxHashMap<u64, TimerState>>> =
+            (0..w).map(|_| Vec::with_capacity(owner.len())).collect();
+        for (i, mut t) in timers.into_iter().enumerate() {
+            let own = owner[i] as usize;
+            for (s, st) in shard_timers.iter_mut().enumerate() {
+                st.push(if s == own {
+                    std::mem::take(&mut t)
+                } else {
+                    crate::hash::FxHashMap::default()
+                });
+            }
+        }
+
+        // Full link-table replication (pristine state asserted inside).
+        let mut shard_links: Vec<Vec<Link<P>>> = (0..w).map(|_| Vec::with_capacity(links.len())).collect();
+        for l in &links {
+            for sl in shard_links.iter_mut() {
+                sl.push(l.replicate());
+            }
+        }
+        drop(links);
+
+        // Route the master's pending events: faults to every shard (each
+        // holds the full link table), timers to the owner, sampling ticks
+        // re-installed per shard below. Traffic events cannot exist on a
+        // pristine sim.
+        let mut shard_events: Vec<Vec<(SimTime, u64, NetEvent<P>)>> =
+            (0..w).map(|_| Vec::new()).collect();
+        let mut eng = engine;
+        while let Some((t, ev)) = eng.pop() {
+            match ev {
+                NetEvent::Fault { idx } => {
+                    for se in shard_events.iter_mut() {
+                        se.push((t, super::fault_key(idx), NetEvent::Fault { idx }));
+                    }
+                }
+                NetEvent::Sample => {}
+                NetEvent::Timer { node, token, gen } => {
+                    shard_events[owner[node.0 as usize] as usize].push((
+                        t,
+                        super::timer_key(node),
+                        NetEvent::Timer { node, token, gen },
+                    ));
+                }
+                NetEvent::Deliver { .. } | NetEvent::TxDone { .. } => {
+                    panic!("partitioning requires a pristine sim (traffic already scheduled)")
+                }
+            }
+        }
+
+        let mut shards = Vec::with_capacity(w);
+        for s in 0..w {
+            let mut engine = Engine::new();
+            for (t, key, ev) in shard_events[s].drain(..) {
+                engine.schedule_keyed(t, key, ev);
+            }
+            // Replicate the probes (uniform tick phase across shards); the
+            // roles decide which series each shard actually records.
+            let (shard_probes, watch_roles) = match &probe_cfg {
+                Some(cfg) => {
+                    let roles = cfg
+                        .watch
+                        .iter()
+                        .map(|&(l, d)| {
+                            let (tx, rx) = dir_owner[l.0 as usize][d as usize];
+                            (tx == s as u32, rx == s as u32)
+                        })
+                        .collect();
+                    let mut p = Probes::new(cfg.clone());
+                    p.ranks = Some(Vec::new());
+                    let first = SimTime::ZERO + p.interval;
+                    if first <= p.until {
+                        engine.schedule_keyed(first, SAMPLE_KEY, NetEvent::Sample);
+                    }
+                    (Some(p), roles)
+                }
+                None => (None, Vec::new()),
+            };
+            let remote_rx = dir_owner
+                .iter()
+                .map(|per| {
+                    let mut bits = 0u8;
+                    for (d, &(tx, rx)) in per.iter().enumerate() {
+                        if tx == s as u32 && rx != s as u32 {
+                            bits |= 1 << d;
+                        }
+                    }
+                    bits
+                })
+                .collect();
+            shards.push(Sim {
+                engine,
+                nodes: std::mem::take(&mut shard_nodes[s]),
+                links: std::mem::take(&mut shard_links[s]),
+                agents: std::mem::take(&mut shard_agents[s]),
+                addr_book: addr_book.clone(),
+                timers: std::mem::take(&mut shard_timers[s]),
+                signals: VecDeque::new(),
+                emit_pool: Vec::new(),
+                rng: rng.clone(),
+                trace: None,
+                probes: shard_probes,
+                profile: SimProfile::default(),
+                tuning,
+                addr_index: None,
+                fibs: Vec::new(),
+                fibs_ready: false,
+                fault_timeline: fault_timeline.clone(),
+                unroutable: if s == 0 { unroutable } else { 0 },
+                audit_injected: if s == 0 { audit_injected } else { 0 },
+                audit_delivered: if s == 0 { audit_delivered } else { 0 },
+                audit_dropped: if s == 0 { audit_dropped } else { 0 },
+                part: Some(Box::new(ShardState {
+                    remote_rx,
+                    outbox: Vec::new(),
+                    rank: (0, 0),
+                    watch_roles,
+                })),
+            });
+        }
+
+        PartitionedSim {
+            shards,
+            owner,
+            dir_owner,
+            lookahead,
+            clock: SimTime::ZERO,
+            op_seq: 0,
+            wall_ns: 0,
+            probe_cfg,
+            probe_preamble,
+            pending_signals: Vec::new(),
+        }
+    }
+
+    /// Number of shards (worker threads).
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative round bound: minimum cut-link propagation delay
+    /// (`None` when no link crosses shards).
+    pub fn lookahead(&self) -> Option<SimDuration> {
+        self.lookahead
+    }
+
+    /// Driver-visible clock (the last `run_until`/`advance_to` boundary).
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Wall-clock nanoseconds spent inside `run_until` windows so far.
+    pub fn wall_ns(&self) -> u64 {
+        self.wall_ns
+    }
+
+    /// Drain every shard's outbox into the target shards' wheels (serial;
+    /// used before rounds start and by `finish`). Deliveries are sorted by
+    /// `(arrival, identity key, source order)` so scheduling order is
+    /// deterministic.
+    fn exchange(&mut self) {
+        let w = self.shards.len();
+        let mut per_target: Vec<Vec<Handoff<P>>> = (0..w).map(|_| Vec::new()).collect();
+        for s in 0..w {
+            let outbox = {
+                let ps = self.shards[s].part.as_mut().expect("shard state");
+                std::mem::take(&mut ps.outbox)
+            };
+            for (seq, (at, link, dir, gen, pkt)) in outbox.into_iter().enumerate() {
+                let target = self.dir_owner[link.0 as usize][dir as usize].1 as usize;
+                per_target[target].push((at, link, dir, gen, pkt, seq as u64));
+            }
+        }
+        for (t, mut inbox) in per_target.into_iter().enumerate() {
+            inbox.sort_by_key(|&(at, link, dir, _, _, seq)| (at, deliver_key(link, dir), seq));
+            for (at, link, dir, gen, pkt, _) in inbox {
+                self.shards[t].engine.schedule_keyed(
+                    at,
+                    deliver_key(link, dir),
+                    NetEvent::Deliver {
+                        link,
+                        dir,
+                        gen,
+                        pkt,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Process all events up to and including `deadline` on every shard,
+    /// synchronizing conservatively in lookahead-bounded rounds. Agent
+    /// signals are replayed to `on_signal` in serial event order after the
+    /// window (see the module docs for the callback-timing caveat).
+    pub fn run_until(
+        &mut self,
+        deadline: SimTime,
+        mut on_signal: impl FnMut(&mut Self, NodeId, u64),
+    ) {
+        assert!(deadline >= self.clock, "run_until into the past");
+        let wall = std::time::Instant::now();
+        // Driver injections since the last window may have produced
+        // cross-shard deliveries; place them before the rounds start.
+        self.exchange();
+        let start = self.clock;
+        let lookahead = self.lookahead;
+        let w = self.shards.len();
+        let dir_owner = &self.dir_owner;
+        let barrier = Barrier::new(w);
+        let buckets: Vec<Mutex<Vec<Handoff<P>>>> = (0..w).map(|_| Mutex::new(Vec::new())).collect();
+        let mut sigs: Vec<Vec<SignalRec>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(w);
+            for (s, sim) in self.shards.iter_mut().enumerate() {
+                let barrier = &barrier;
+                let buckets = &buckets;
+                handles.push(scope.spawn(move || {
+                    let mut local: Vec<SignalRec> = Vec::new();
+                    let mut h = start;
+                    loop {
+                        h = match lookahead {
+                            Some(l) => (h + l).min(deadline),
+                            None => deadline,
+                        };
+                        sim.run_until(h, |s2, node, code| {
+                            let rank = s2.part.as_ref().map_or((0, 0), |ps| ps.rank);
+                            local.push((s2.now(), rank, node, code));
+                        });
+                        barrier.wait();
+                        // Drain this shard's outbox into per-target buffers.
+                        let outbox = {
+                            let ps = sim.part.as_mut().expect("shard state");
+                            std::mem::take(&mut ps.outbox)
+                        };
+                        if !outbox.is_empty() {
+                            for (seq, (at, link, dir, gen, pkt)) in outbox.into_iter().enumerate() {
+                                let target =
+                                    dir_owner[link.0 as usize][dir as usize].1 as usize;
+                                buckets[target]
+                                    .lock()
+                                    .expect("bucket lock")
+                                    .push((at, link, dir, gen, pkt, seq as u64));
+                            }
+                        }
+                        barrier.wait();
+                        // Absorb deliveries addressed to this shard. The
+                        // sort key restores a deterministic order whatever
+                        // the lock-acquisition interleaving was: equal
+                        // (arrival, key) pairs share a source shard, where
+                        // `seq` preserves emission order.
+                        let mut inbox = std::mem::take(&mut *buckets[s].lock().expect("bucket lock"));
+                        inbox.sort_by_key(|&(at, link, dir, _, _, seq)| {
+                            (at, deliver_key(link, dir), seq)
+                        });
+                        for (at, link, dir, gen, pkt, _) in inbox {
+                            sim.engine.schedule_keyed(
+                                at,
+                                deliver_key(link, dir),
+                                NetEvent::Deliver {
+                                    link,
+                                    dir,
+                                    gen,
+                                    pkt,
+                                },
+                            );
+                        }
+                        barrier.wait();
+                        if h >= deadline {
+                            break;
+                        }
+                    }
+                    local
+                }));
+            }
+            sigs = handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect();
+        });
+        self.clock = deadline;
+        self.wall_ns += wall.elapsed().as_nanos() as u64;
+        // Replay signals in serial event order: (time, event identity
+        // rank); full ties share a shard, where collection order is the
+        // serial order (stable sort + shard-ordered concatenation).
+        let mut all: Vec<SignalRec> = std::mem::take(&mut self.pending_signals);
+        all.extend(sigs.into_iter().flatten());
+        all.sort_by_key(|&(t, rank, _, _)| (t, rank));
+        for (_, _, node, code) in all {
+            on_signal(self, node, code);
+        }
+    }
+
+    /// `run_until` ignoring signals.
+    pub fn run_until_quiet(&mut self, deadline: SimTime) {
+        self.run_until(deadline, |_, _, _| {});
+    }
+
+    /// Advance every shard's clock to `t` (events up to `t` must already be
+    /// processed) and set the driver-visible clock. Mirrors
+    /// [`Sim::advance_to`].
+    pub fn advance_to(&mut self, t: SimTime) {
+        for sim in &mut self.shards {
+            sim.advance_to(t);
+        }
+        self.clock = self.clock.max(t);
+    }
+
+    /// Run driver code against the concrete agent on `node`, on whichever
+    /// shard owns it. Mirrors [`Sim::with_agent`]; the operation is ranked
+    /// after all same-instant events for the probe-record merge.
+    pub fn with_agent<T: Agent<P>, R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut T, &mut Ctx<'_, P>) -> R,
+    ) -> R {
+        let s = self.owner[node.0 as usize] as usize;
+        self.op_seq += 1;
+        let rank = (u64::MAX, DRIVER_RANK_BASE + self.op_seq);
+        let sim = &mut self.shards[s];
+        // A shard's engine clock rests on its last handled event, which may
+        // trail the window deadline; anything the driver schedules now must
+        // land at the partitioned clock or later, exactly as it would on a
+        // serial sim that ran to the same instant.
+        sim.advance_to(self.clock);
+        if let Some(ps) = sim.part.as_mut() {
+            ps.rank = rank;
+        }
+        let r = sim.with_agent(node, f);
+        // A `ctx.signal` raised by the operation itself must not surface
+        // under the next window's first event identity; stamp it with the
+        // operation's own rank and deliver it with the window's signals.
+        let clock = self.clock;
+        while let Some((n, code)) = sim.signals.pop_front() {
+            self.pending_signals.push((clock, rank, n, code));
+        }
+        r
+    }
+
+    /// Packet-conservation audit across all shards, accounting for
+    /// in-flight cross-partition packets: a handed-off packet stays
+    /// counted in the transmit shard's copy of the direction until the
+    /// receive shard processes its `Deliver` (decrementing its own copy),
+    /// so per-direction occupancy — and the global balance — is the
+    /// *signed sum over every shard's copy*. Panics if the books don't
+    /// balance.
+    pub fn audit_conservation(&self) -> AuditReport {
+        let mut injected = 0u64;
+        let mut delivered = 0u64;
+        let mut dropped = 0u64;
+        for sim in &self.shards {
+            injected += sim.audit_injected;
+            delivered += sim.audit_delivered;
+            dropped += sim.audit_dropped;
+        }
+        let mut in_network = 0i64;
+        for li in 0..self.dir_owner.len() {
+            for d in 0..2usize {
+                let sum: i64 = self
+                    .shards
+                    .iter()
+                    .map(|s| s.links[li].dirs[d].in_network)
+                    .sum();
+                assert!(
+                    sum >= 0,
+                    "negative merged in-network count {sum} on link {li} dir {d}"
+                );
+                in_network += sum;
+            }
+        }
+        let report = AuditReport {
+            injected,
+            delivered,
+            dropped,
+            in_network: in_network as u64,
+        };
+        assert_eq!(
+            report.injected,
+            report.delivered + report.dropped + report.in_network,
+            "packet conservation violated across partitions: {report:?}"
+        );
+        report
+    }
+
+    /// Reassemble one serial [`Sim`] from the shards: owned node, agent and
+    /// timer state; per-direction link state merged from the transmit- and
+    /// receive-authoritative copies; pending events re-merged into one
+    /// wheel in `(time, key)` order; probe records re-ordered into the
+    /// serial recording order. The result is bit-identical to the serial
+    /// run's end state for every driver-visible surface (stats, probes,
+    /// audit, pending work) and can keep running serially.
+    pub fn finish(mut self) -> Sim<P, A> {
+        assert!(
+            self.pending_signals.is_empty(),
+            "undelivered driver signals at finish (run a window first)"
+        );
+        // Driver injections since the last window may still sit in
+        // outboxes; place them so the merged wheel sees them.
+        self.exchange();
+        let w = self.shards.len();
+        let n_nodes = self.owner.len();
+        let n_links = self.dir_owner.len();
+
+        let mut nodes_its = Vec::with_capacity(w);
+        let mut agents_its = Vec::with_capacity(w);
+        let mut timers_its = Vec::with_capacity(w);
+        let mut links_its = Vec::with_capacity(w);
+        let mut engines = Vec::with_capacity(w);
+        let mut probes_list = Vec::with_capacity(w);
+        let mut profile_sum = SimProfile::default();
+        let mut unroutable = 0u64;
+        let (mut injected, mut delivered, mut dropped) = (0u64, 0u64, 0u64);
+        let mut first_meta: Option<SimMeta> = None;
+        for sim in self.shards.drain(..) {
+            let Sim {
+                engine,
+                nodes,
+                links,
+                agents,
+                addr_book,
+                timers,
+                signals,
+                emit_pool: _,
+                rng,
+                trace: _,
+                probes,
+                profile,
+                tuning,
+                addr_index: _,
+                fibs: _,
+                fibs_ready: _,
+                fault_timeline,
+                unroutable: ur,
+                audit_injected,
+                audit_delivered,
+                audit_dropped,
+                part: _,
+            } = sim;
+            assert!(signals.is_empty(), "undrained signals at finish");
+            nodes_its.push(nodes.into_iter());
+            agents_its.push(agents.into_iter());
+            timers_its.push(timers.into_iter());
+            links_its.push(links.into_iter());
+            engines.push(engine);
+            probes_list.push(probes);
+            profile_sum.deliver += profile.deliver;
+            profile_sum.tx_done += profile.tx_done;
+            profile_sum.timer += profile.timer;
+            profile_sum.fault += profile.fault;
+            profile_sum.sample += profile.sample;
+            profile_sum.pool_hits += profile.pool_hits;
+            profile_sum.pool_misses += profile.pool_misses;
+            profile_sum.fib_compile_ns += profile.fib_compile_ns;
+            profile_sum.allocs += profile.allocs;
+            unroutable += ur;
+            injected += audit_injected;
+            delivered += audit_delivered;
+            dropped += audit_dropped;
+            if first_meta.is_none() {
+                first_meta = Some((addr_book, rng, tuning, fault_timeline));
+            }
+        }
+        profile_sum.run_wall_ns = self.wall_ns;
+        let (addr_book, rng, tuning, fault_timeline) = first_meta.expect("at least one shard");
+
+        // Owned node/agent/timer state per index.
+        let mut nodes = Vec::with_capacity(n_nodes);
+        let mut agents = Vec::with_capacity(n_nodes);
+        let mut timers = Vec::with_capacity(n_nodes);
+        for i in 0..n_nodes {
+            let own = self.owner[i] as usize;
+            let mut node = None;
+            let mut agent = None;
+            let mut timer = None;
+            for s in 0..w {
+                let n = nodes_its[s].next().expect("node tables aligned");
+                let a = agents_its[s].next().expect("agent tables aligned");
+                let t = timers_its[s].next().expect("timer tables aligned");
+                if s == own {
+                    node = Some(n);
+                    agent = Some(a);
+                    timer = Some(t);
+                }
+            }
+            nodes.push(node.expect("owner within shard count"));
+            agents.push(agent.expect("owner within shard count"));
+            timers.push(timer.expect("owner within shard count"));
+        }
+
+        // Link state merged per direction from the authoritative copies.
+        let mut links = Vec::with_capacity(n_links);
+        for li in 0..n_links {
+            let copies: Vec<Link<P>> = links_its
+                .iter_mut()
+                .map(|it| it.next().expect("link tables aligned"))
+                .collect();
+            links.push(merge_link(copies, self.dir_owner[li]));
+        }
+
+        // One wheel from all pending events. Equal (time, key) pairs come
+        // from one shard (identity ⇒ ownership), so a stable sort over the
+        // shard-ordered concatenation reproduces the serial FIFO order.
+        // Replicated Fault events dedup to shard 0's copy; per-shard
+        // sampling ticks collapse to one (they share the tick phase).
+        let mut processed = 0u64;
+        let mut scheduled = 0u64;
+        let mut sample_at: Option<SimTime> = None;
+        let mut pend: Vec<(SimTime, u64, NetEvent<P>)> = Vec::new();
+        for (s, mut eng) in engines.into_iter().enumerate() {
+            processed += eng.processed();
+            scheduled += eng.scheduled();
+            while let Some((t, ev)) = eng.pop() {
+                match &ev {
+                    NetEvent::Fault { .. } if s != 0 => continue,
+                    NetEvent::Sample => {
+                        if s == 0 {
+                            sample_at = Some(t);
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+                pend.push((t, event_rank(&ev), ev));
+            }
+        }
+        pend.sort_by_key(|e| (e.0, e.1));
+        let mut engine = Engine::new();
+        for (t, key, ev) in pend {
+            engine.schedule_keyed(t, key, ev);
+        }
+        if let Some(t) = sample_at {
+            engine.schedule_keyed(t, SAMPLE_KEY, NetEvent::Sample);
+        }
+        engine.advance_to(self.clock);
+        engine.absorb_counters(processed, scheduled);
+
+        // Probe records back into serial order: (time, event rank, shard
+        // order). Only shards record (all records are timed); the pre-run
+        // preamble (Meta lines) goes first, as pushed.
+        let probes = self.probe_cfg.take().map(|cfg| {
+            let mut tagged: Vec<(SimTime, (u64, u64), usize, ProbeRecord)> = Vec::new();
+            for p in probes_list.into_iter() {
+                let mut p = p.expect("probed run keeps shard probes");
+                let ranks = p.ranks.take().expect("shard probes carry ranks");
+                let records = p.take_records();
+                assert_eq!(ranks.len(), records.len(), "rank channel out of sync");
+                for (rec, rank) in records.into_iter().zip(ranks) {
+                    let at = match &rec {
+                        ProbeRecord::Queue { at, .. }
+                        | ProbeRecord::Util { at, .. }
+                        | ProbeRecord::Mark { at, .. }
+                        | ProbeRecord::Cwnd { at, .. } => *at,
+                        ProbeRecord::Meta { .. } => {
+                            unreachable!("shards never record Meta lines")
+                        }
+                    };
+                    let seq = tagged.len();
+                    tagged.push((at, rank, seq, rec));
+                }
+            }
+            tagged.sort_by_key(|&(at, rank, seq, _)| (at, rank, seq));
+            let mut merged = Probes::new(cfg);
+            for rec in self.probe_preamble.drain(..) {
+                merged.push(rec);
+            }
+            for (_, _, _, rec) in tagged {
+                merged.push(rec);
+            }
+            merged
+        });
+
+        Sim {
+            engine,
+            nodes,
+            links,
+            agents,
+            addr_book,
+            timers,
+            signals: VecDeque::new(),
+            emit_pool: Vec::new(),
+            rng,
+            trace: None,
+            probes,
+            profile: profile_sum,
+            tuning,
+            addr_index: None,
+            fibs: Vec::new(),
+            fibs_ready: false,
+            fault_timeline,
+            unroutable,
+            audit_injected: injected,
+            audit_delivered: delivered,
+            audit_dropped: dropped,
+            part: None,
+        }
+    }
+}
+
+/// Merge one link's shard copies: the transmit-authoritative copy carries
+/// the queue, serialization pipeline, fault stream and tx-side counters
+/// wholesale; the receive-authoritative copy overrides the delivery
+/// counters and corruption stream and contributes its occupancy decrements
+/// and stale-delivery blackholes.
+fn merge_link<P: Payload>(copies: Vec<Link<P>>, dir_owner: [(u32, u32); 2]) -> Link<P> {
+    // Rx-authoritative bits, cloned out before the move below.
+    let rx_bits: Vec<(u64, xmp_des::ByteSize, u64, u64, i64, SimRng)> = (0..2usize)
+        .map(|d| {
+            let (_, rx) = dir_owner[d];
+            let dd = &copies[rx as usize].dirs[d];
+            (
+                dd.stats.delivered,
+                dd.stats.delivered_bytes,
+                dd.stats.corrupted,
+                dd.stats.blackholed,
+                dd.in_network,
+                dd.corrupt_rng.clone(),
+            )
+        })
+        .collect();
+    let mut meta: Option<(xmp_des::Bandwidth, SimDuration, String, crate::queue::QdiscConfig)> =
+        None;
+    let mut slots: [Option<crate::link::Direction<P>>; 2] = [None, None];
+    for (s, link) in copies.into_iter().enumerate() {
+        let Link {
+            bandwidth,
+            delay,
+            dirs,
+            label,
+            qcfg,
+        } = link;
+        let [d0, d1] = dirs;
+        if s as u32 == dir_owner[0].0 {
+            slots[0] = Some(d0);
+        }
+        if s as u32 == dir_owner[1].0 {
+            slots[1] = Some(d1);
+        }
+        if meta.is_none() {
+            meta = Some((bandwidth, delay, label, qcfg));
+        }
+    }
+    let (bandwidth, delay, label, qcfg) = meta.expect("at least one copy");
+    let [slot0, slot1] = slots;
+    let mut dirs = [
+        slot0.expect("tx owner within shard count"),
+        slot1.expect("tx owner within shard count"),
+    ];
+    for (d, dir) in dirs.iter_mut().enumerate() {
+        let (tx, rx) = dir_owner[d];
+        if tx != rx {
+            let (del, del_bytes, corrupted, rx_blackholed, rx_in_network, corrupt_rng) =
+                rx_bits[d].clone();
+            // Tx copy never sees deliveries on a cut direction; the rx
+            // copy's counters are authoritative. Blackholes accrue on both
+            // sides (tx: down-at-enqueue and teardown purges; rx:
+            // stale-generation arrivals) and sum; so do the signed
+            // occupancy halves (tx +1 at accept, rx −1 at deliver).
+            dir.stats.delivered = del;
+            dir.stats.delivered_bytes = del_bytes;
+            dir.stats.corrupted = corrupted;
+            dir.stats.blackholed += rx_blackholed;
+            dir.in_network += rx_in_network;
+            dir.corrupt_rng = corrupt_rng;
+        }
+    }
+    Link {
+        bandwidth,
+        delay,
+        dirs,
+        label,
+        qcfg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::fault::FaultPlan;
+    use crate::link::LinkParams;
+    use crate::node::PortId;
+    use crate::packet::{Ecn, FlowId, Packet};
+    use crate::probe::ProbeConfig;
+    use crate::queue::QdiscConfig;
+    use crate::routing::StaticRouter;
+    use std::any::Any;
+    use xmp_des::{Bandwidth, ByteSize};
+
+    type DynAgent = Box<dyn Agent<u64> + Send>;
+
+    /// Paced source + sink: bursts `burst` packets to a fixed peer on each
+    /// timer tick, records arrivals, raises a signal per delivery.
+    struct Pacer {
+        src: Addr,
+        dst: Addr,
+        flow: u64,
+        ticks: u64,
+        max_ticks: u64,
+        burst: u32,
+        period: SimDuration,
+        received: Vec<(u64, u64)>,
+    }
+
+    impl Agent<u64> for Pacer {
+        fn on_packet(&mut self, pkt: Packet<u64>, _port: PortId, ctx: &mut Ctx<'_, u64>) {
+            self.received.push((ctx.now().as_nanos(), pkt.payload));
+            ctx.signal(pkt.payload);
+        }
+        fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_, u64>) {
+            for i in 0..self.burst {
+                let payload = self.flow * 1_000_000 + self.ticks * 100 + i as u64;
+                ctx.send(
+                    PortId(0),
+                    Packet::new(
+                        self.src,
+                        self.dst,
+                        FlowId(self.flow),
+                        Ecn::Ect,
+                        ByteSize::from_bytes(1500),
+                        payload,
+                    ),
+                );
+            }
+            self.ticks += 1;
+            if self.ticks < self.max_ticks {
+                let next = ctx.now() + self.period;
+                ctx.set_timer(0, next);
+            }
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn pacer(src: Addr, dst: Addr, flow: u64) -> DynAgent {
+        Box::new(Pacer {
+            src,
+            dst,
+            flow,
+            ticks: 0,
+            max_ticks: 30,
+            burst: 3,
+            period: SimDuration::from_micros(150),
+            received: Vec::new(),
+        })
+    }
+
+    /// Two "pods" (switch + two hosts each) joined by one inter-switch
+    /// link: the cut link of the two-way partition. All four flows cross
+    /// it. Returns the sim, the plan, the hosts and the cut link.
+    fn build(workers: u32) -> (Sim<u64, DynAgent>, PartitionPlan, Vec<NodeId>, LinkId) {
+        let mut sim: Sim<u64, DynAgent> = Sim::new(42);
+        let a = |i: u8| Addr::new(10, 0, 0, i);
+        let edge = LinkParams::new(
+            Bandwidth::from_gbps(1),
+            SimDuration::from_micros(20),
+            QdiscConfig::EcnThreshold { cap: 64, k: 4 },
+        );
+        let trunk = LinkParams::new(
+            Bandwidth::from_gbps(1),
+            SimDuration::from_micros(40),
+            QdiscConfig::EcnThreshold { cap: 64, k: 4 },
+        );
+        let h0 = sim.add_host("h0", pacer(a(1), a(3), 1));
+        let h1 = sim.add_host("h1", pacer(a(2), a(4), 2));
+        let sw0 = sim.add_switch("sw0", Box::new(StaticRouter::new()));
+        let h2 = sim.add_host("h2", pacer(a(3), a(1), 3));
+        let h3 = sim.add_host("h3", pacer(a(4), a(2), 4));
+        let sw1 = sim.add_switch("sw1", Box::new(StaticRouter::new()));
+        sim.connect(h0, sw0, &edge, "h0-sw0"); // sw0 port 0
+        sim.connect(h1, sw0, &edge, "h1-sw0"); // sw0 port 1
+        let cut = sim.connect(sw0, sw1, &trunk, "sw0-sw1"); // sw0 p2, sw1 p0
+        sim.connect(h2, sw1, &edge, "h2-sw1"); // sw1 port 1
+        sim.connect(h3, sw1, &edge, "h3-sw1"); // sw1 port 2
+        for (i, h) in [h0, h1, h2, h3].iter().enumerate() {
+            sim.bind_addr(a(i as u8 + 1), *h);
+        }
+        sim.set_router(
+            sw0,
+            Box::new(
+                StaticRouter::new()
+                    .to(a(1), PortId(0))
+                    .to(a(2), PortId(1))
+                    .to(a(3), PortId(2))
+                    .to(a(4), PortId(2)),
+            ),
+        );
+        sim.set_router(
+            sw1,
+            Box::new(
+                StaticRouter::new()
+                    .to(a(1), PortId(0))
+                    .to(a(2), PortId(0))
+                    .to(a(3), PortId(1))
+                    .to(a(4), PortId(2)),
+            ),
+        );
+        sim.install_fault_plan(
+            &FaultPlan::new()
+                .drop_rate(cut, 0.02)
+                .corrupt_rate(cut, 0.01)
+                .link_down(SimTime::from_micros(1500), cut)
+                .link_up(SimTime::from_micros(2500), cut),
+        );
+        sim.install_probes(ProbeConfig {
+            interval: SimDuration::from_micros(100),
+            until: SimTime::from_micros(8000),
+            watch: vec![(cut, 0), (cut, 1)],
+            record_marks: true,
+        });
+        for h in [h0, h1, h2, h3] {
+            sim.with_agent::<Pacer, _>(h, |_, ctx| {
+                ctx.set_timer(0, SimTime::from_micros(10));
+            });
+        }
+        let plan = if workers == 1 {
+            PartitionPlan::single(6)
+        } else {
+            PartitionPlan::new(vec![0, 0, 0, 1, 1, 1])
+        };
+        (sim, plan, vec![h0, h1, h2, h3], cut)
+    }
+
+    /// Everything the driver can observe, digested for comparison.
+    fn observe(sim: &mut Sim<u64, DynAgent>, hosts: &[NodeId]) -> String {
+        let mut out = String::new();
+        use std::fmt::Write;
+        writeln!(out, "clock={:?}", sim.now()).unwrap();
+        for &h in hosts {
+            let recv = sim.with_agent::<Pacer, _>(h, |p, _| p.received.clone());
+            writeln!(out, "host {h:?}: {recv:?}").unwrap();
+        }
+        for (id, l) in sim.links() {
+            for d in 0..2 {
+                writeln!(out, "{id:?}/{d}: {:?}", l.dirs[d].stats).unwrap();
+            }
+        }
+        let p = sim.profile();
+        writeln!(out, "deliver={} tx_done={} timer={}", p.deliver, p.tx_done, p.timer).unwrap();
+        out
+    }
+
+    fn drive_serial(
+        tuning: super::super::SimTuning,
+    ) -> (String, Vec<(NodeId, u64)>, Vec<ProbeRecord>, AuditReport) {
+        let (mut sim, _, hosts, _) = build(1);
+        sim.set_tuning(tuning);
+        let mut sigs = Vec::new();
+        sim.run_until(SimTime::from_micros(2000), |_, n, c| sigs.push((n, c)));
+        // Mid-run driver injection: one extra packet from h0, at exactly
+        // t = 2 ms (the flow driver always advances to the stop instant
+        // before touching agents, and `PartitionedSim::with_agent` matches
+        // that convention).
+        sim.advance_to(SimTime::from_micros(2000));
+        let h0 = hosts[0];
+        sim.with_agent::<Pacer, _>(h0, |p, ctx| {
+            let pkt = Packet::new(
+                p.src,
+                p.dst,
+                FlowId(p.flow),
+                Ecn::Ect,
+                ByteSize::from_bytes(700),
+                999_999,
+            );
+            ctx.send(PortId(0), pkt);
+        });
+        sim.run_until(SimTime::from_micros(8000), |_, n, c| sigs.push((n, c)));
+        let audit = sim.audit_conservation();
+        let digest = observe(&mut sim, &hosts);
+        let records = sim.take_probes().expect("probes installed").records().to_vec();
+        (digest, sigs, records, audit)
+    }
+
+    fn drive_partitioned(
+        workers: u32,
+        tuning: super::super::SimTuning,
+    ) -> (String, Vec<(NodeId, u64)>, Vec<ProbeRecord>, AuditReport) {
+        let (mut sim, plan, hosts, _) = build(workers);
+        sim.set_tuning(tuning);
+        let mut part = PartitionedSim::new(sim, &plan);
+        if workers > 1 {
+            assert_eq!(part.lookahead(), Some(SimDuration::from_micros(40)));
+        }
+        let mut sigs = Vec::new();
+        part.run_until(SimTime::from_micros(2000), |_, n, c| sigs.push((n, c)));
+        let h0 = hosts[0];
+        part.with_agent::<Pacer, _>(h0, |p, ctx| {
+            let pkt = Packet::new(
+                p.src,
+                p.dst,
+                FlowId(p.flow),
+                Ecn::Ect,
+                ByteSize::from_bytes(700),
+                999_999,
+            );
+            ctx.send(PortId(0), pkt);
+        });
+        part.run_until(SimTime::from_micros(8000), |_, n, c| sigs.push((n, c)));
+        let audit = part.audit_conservation();
+        let mut merged = part.finish();
+        let digest = observe(&mut merged, &hosts);
+        let records = merged
+            .take_probes()
+            .expect("probes installed")
+            .records()
+            .to_vec();
+        (digest, sigs, records, audit)
+    }
+
+    #[test]
+    fn partitioned_matches_serial_across_tunings() {
+        for &(compiled, lazy) in &[(false, false), (true, false), (false, true), (true, true)] {
+            let tuning = super::super::SimTuning {
+                compiled_fib: compiled,
+                lazy_links: lazy,
+                drop_unroutable: false,
+            };
+            let serial = drive_serial(tuning);
+            for workers in [1u32, 2] {
+                let part = drive_partitioned(workers, tuning);
+                assert_eq!(serial.0, part.0, "digest mismatch (workers={workers})");
+                assert_eq!(serial.1, part.1, "signal mismatch (workers={workers})");
+                assert_eq!(serial.2, part.2, "probe mismatch (workers={workers})");
+                assert_eq!(serial.3, part.3, "audit mismatch (workers={workers})");
+            }
+        }
+    }
+
+    #[test]
+    fn finished_sim_keeps_running_serially() {
+        // Cut the run mid-flight, reassemble, and let the merged serial sim
+        // finish the workload: pending cross-partition deliveries must
+        // survive the merge.
+        let (sim, plan, hosts, _) = build(2);
+        let mut part = PartitionedSim::new(sim, &plan);
+        part.run_until_quiet(SimTime::from_micros(700));
+        let mut merged = part.finish();
+        assert!(merged.engine.pending() > 0, "expected in-flight work");
+        merged.run_until_quiet(SimTime::from_micros(8000));
+        merged.audit_conservation();
+
+        let (mut serial, _, _, _cut) = build(1);
+        serial.run_until_quiet(SimTime::from_micros(8000));
+        let a = observe(&mut merged, &hosts);
+        let b = observe(&mut serial, &hosts);
+        assert_eq!(a, b, "resumed merged sim diverged from serial");
+    }
+
+    #[test]
+    #[should_panic(expected = "pristine")]
+    fn partitioning_a_run_sim_panics() {
+        let (mut sim, plan, _, _) = build(2);
+        sim.run_until_quiet(SimTime::from_micros(500));
+        let _ = PartitionedSim::new(sim, &plan);
+    }
+}

@@ -525,6 +525,13 @@ pub struct Probes {
     pub(crate) watch: Vec<(LinkId, u8)>,
     pub(crate) record_marks: bool,
     records: Vec<ProbeRecord>,
+    /// Merge-rank side channel, active only on partitioned shards: one
+    /// `(primary, secondary)` rank per record, parallel to `records`. The
+    /// primary is the identity key of the engine event being handled when
+    /// the record was pushed; the secondary orders records within one event
+    /// (sampling ticks) or driver operations. The cross-shard merge sorts
+    /// by `(time, rank)` to reproduce the serial recording order exactly.
+    pub(crate) ranks: Option<Vec<(u64, u64)>>,
 }
 
 impl Probes {
@@ -535,18 +542,39 @@ impl Probes {
             watch: cfg.watch,
             record_marks: cfg.record_marks,
             records: Vec::new(),
+            ranks: None,
         }
     }
 
     /// Append a record (sampling ticks do this; drivers push their own,
     /// e.g. per-subflow cwnd snapshots).
     pub fn push(&mut self, rec: ProbeRecord) {
+        if let Some(ranks) = self.ranks.as_mut() {
+            // Un-ranked pushes on a shard (none exist today) would sort
+            // after everything at their instant.
+            ranks.push((u64::MAX, u64::MAX));
+        }
+        self.records.push(rec);
+    }
+
+    /// Append a record with an explicit merge rank (partitioned shards;
+    /// the rank is dropped when the side channel is inactive).
+    pub(crate) fn push_ranked(&mut self, rec: ProbeRecord, rank: (u64, u64)) {
+        if let Some(ranks) = self.ranks.as_mut() {
+            ranks.push(rank);
+        }
         self.records.push(rec);
     }
 
     /// All records in recording order.
     pub fn records(&self) -> &[ProbeRecord] {
         &self.records
+    }
+
+    /// Move all records out (the partitioned merge re-orders per-shard
+    /// records into the serial recording order).
+    pub(crate) fn take_records(&mut self) -> Vec<ProbeRecord> {
+        std::mem::take(&mut self.records)
     }
 
     /// Number of records.
@@ -565,13 +593,18 @@ impl Probes {
     }
 
     /// On-change hook for CE marks (called from the enqueue paths).
-    pub(crate) fn on_mark(&mut self, at: SimTime, link: LinkId, dir: u8) {
+    /// `rank` is the processing event's merge rank on partitioned shards,
+    /// `None` in serial runs.
+    pub(crate) fn on_mark(&mut self, at: SimTime, link: LinkId, dir: u8, rank: Option<(u64, u64)>) {
         if self.record_marks && self.watch.contains(&(link, dir)) {
-            self.records.push(ProbeRecord::Mark {
-                at,
-                link: link.0,
-                dir,
-            });
+            self.push_ranked(
+                ProbeRecord::Mark {
+                    at,
+                    link: link.0,
+                    dir,
+                },
+                rank.unwrap_or((u64::MAX, u64::MAX)),
+            );
         }
     }
 
@@ -622,6 +655,18 @@ impl SimProfile {
         self.deliver + self.tx_done + self.timer + self.fault + self.sample
     }
 
+    /// Macro throughput: events handled per wall-clock second inside
+    /// `run_until` windows. The cross-PR normalizer for throughput claims
+    /// (`bench_trend` surfaces it next to raw wall clock, which depends on
+    /// workload size); 0.0 before anything has run.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.run_wall_ns == 0 {
+            0.0
+        } else {
+            self.events_handled() as f64 / (self.run_wall_ns as f64 / 1e9)
+        }
+    }
+
     /// Heap allocations per `Deliver` event — the headline "allocations per
     /// packet-hop" number. Meaningful only when an allocation probe is
     /// installed ([`set_alloc_probe`]); 0.0 when nothing was delivered.
@@ -647,7 +692,7 @@ impl SimProfile {
     /// One-line human summary (suite output).
     pub fn summary(&self) -> String {
         format!(
-            "events deliver={} txdone={} timer={} fault={} sample={} | pool hit {:.3} | run {:.1} ms (fib {:.2} ms)",
+            "events deliver={} txdone={} timer={} fault={} sample={} | pool hit {:.3} | run {:.1} ms (fib {:.2} ms) | {:.2} Mev/s",
             self.deliver,
             self.tx_done,
             self.timer,
@@ -656,6 +701,7 @@ impl SimProfile {
             self.pool_hit_rate(),
             self.run_wall_ns as f64 / 1e6,
             self.fib_compile_ns as f64 / 1e6,
+            self.events_per_sec() / 1e6,
         )
     }
 }
@@ -787,12 +833,12 @@ mod tests {
             .until(SimTime::from_secs(1))
             .watch_queue(LinkId(3), 0);
         let mut p = Probes::new(cfg.clone().with_marks());
-        p.on_mark(SimTime::ZERO, LinkId(3), 0); // watched
-        p.on_mark(SimTime::ZERO, LinkId(3), 1); // wrong dir
-        p.on_mark(SimTime::ZERO, LinkId(4), 0); // wrong link
+        p.on_mark(SimTime::ZERO, LinkId(3), 0, None); // watched
+        p.on_mark(SimTime::ZERO, LinkId(3), 1, None); // wrong dir
+        p.on_mark(SimTime::ZERO, LinkId(4), 0, None); // wrong link
         assert_eq!(p.len(), 1);
         let mut quiet = Probes::new(cfg); // record_marks off
-        quiet.on_mark(SimTime::ZERO, LinkId(3), 0);
+        quiet.on_mark(SimTime::ZERO, LinkId(3), 0, None);
         assert!(quiet.is_empty());
     }
 

@@ -10,17 +10,21 @@
 //! * `k/2` hosts per edge switch → `k³/4` hosts.
 //!
 //! **Addressing.** Host `h` under edge `e` of pod `p` owns the addresses
-//! `(10, p, e, 2 + h + (k/2)·t)` for path tags `t ∈ 0..(k/2)²`. Tag 0 is
-//! the Al-Fares address; higher tags are the *alias addresses* the paper
-//! assigns so each MPTCP subflow can ride a different path. Routing is a
-//! pure function of the destination address (no per-flow hashing):
+//! `(10, p, e, 2 + h + (k/2)·t)` for path tags `t ∈ 0..tag_count`. Tag 0
+//! is the Al-Fares address; higher tags are the *alias addresses* the
+//! paper assigns so each MPTCP subflow can ride a different path. For
+//! k ≤ 12 the tag space is the full `(k/2)²`; beyond that the fourth
+//! octet caps it (see [`FatTree::tag_count`]) — k = 16 gets 31 of its 64
+//! core paths, k = 32 gets 15, still ample multipath diversity at
+//! datacenter scale. Routing is a pure function of the destination
+//! address (no per-flow hashing):
 //!
 //! * edge uplink  = `(h + t) mod k/2`,
 //! * agg uplink   = `(h + ⌊t / (k/2)⌋) mod k/2`,
 //! * core down-port = destination pod; agg/edge down-ports by address.
 //!
-//! For a fixed destination host, the `(k/2)²` tags enumerate exactly the
-//! `(k/2)²` core switches — the full inter-pod path diversity.
+//! For a fixed destination host, tag `t` rides core `(t mod k/2,
+//! ⌊t / (k/2)⌋)` — distinct tags, distinct cores.
 
 use xmp_des::{Bandwidth, SimDuration};
 use xmp_netsim::fib::{CompiledFib, FibBuilder};
@@ -129,10 +133,11 @@ impl FatTree {
     ) -> FatTree {
         let k = config.k;
         assert!(k >= 4 && k.is_multiple_of(2), "fat tree needs even k >= 4");
+        assert!(k < 256, "pod index overflows an address octet");
         let h = k / 2;
         assert!(
-            2 + (h - 1) + h * (h * h - 1) < 256,
-            "alias addressing overflows an octet for this k"
+            Self::tag_count_for(k) >= 2,
+            "alias addressing leaves no multipath diversity for this k"
         );
 
         let mut ft = FatTree {
@@ -185,7 +190,7 @@ impl FatTree {
                     );
                     ft.rack_links.push(l);
                     // Bind every path alias of this host.
-                    for t in 0..h * h {
+                    for t in 0..Self::tag_count_for(k) {
                         sim.bind_addr(Self::addr_of(k, p, e, hh, t), host);
                     }
                 }
@@ -242,7 +247,7 @@ impl FatTree {
     /// The address of host `(p, e, h)` under path tag `t`.
     pub fn addr_of(k: usize, p: usize, e: usize, h: usize, t: usize) -> Addr {
         let half = k / 2;
-        debug_assert!(h < half && t < half * half);
+        debug_assert!(h < half && t < Self::tag_count_for(k));
         Addr::new(10, p as u8, e as u8, (2 + h + half * t) as u8)
     }
 
@@ -264,9 +269,18 @@ impl FatTree {
         (i / per_pod, (i % per_pod) / h, i % h)
     }
 
-    /// Number of distinct path tags (inter-pod path diversity).
+    /// Number of distinct path tags (inter-pod path diversity): the full
+    /// `(k/2)²` when every alias fits the fourth address octet (k ≤ 12),
+    /// otherwise every tag that keeps `2 + (k/2 - 1) + (k/2)·t ≤ 255`.
     pub fn tag_count(&self) -> usize {
-        (self.k / 2) * (self.k / 2)
+        Self::tag_count_for(self.k)
+    }
+
+    /// [`FatTree::tag_count`] as a function of `k` (used during
+    /// construction, before the tree exists).
+    pub fn tag_count_for(k: usize) -> usize {
+        let h = k / 2;
+        (h * h).min((254 - h) / h + 1)
     }
 
     /// The aggregation↔core link between core `(i, j)` and pod `p`'s
@@ -291,6 +305,43 @@ impl FatTree {
         } else {
             FlowCategory::InnerRack
         }
+    }
+
+    /// Pod-based shard assignment for a partitioned run
+    /// ([`xmp_netsim::PartitionedSim`]): each shard takes `k / workers`
+    /// consecutive pods wholesale (hosts + edge + aggregation switches),
+    /// and the `(k/2)²` core switches spread round-robin across shards.
+    /// Rack and edge–aggregation links never cross shards; the cut set is
+    /// a subset of the aggregation↔core links, so the conservative
+    /// lookahead is the core-link delay (40 µs under the paper's
+    /// parameters).
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero or does not divide `k`.
+    pub fn partition_plan(&self, workers: usize) -> xmp_netsim::PartitionPlan {
+        assert!(workers > 0, "need at least one worker");
+        assert!(
+            self.k.is_multiple_of(workers),
+            "workers ({workers}) must divide k ({})",
+            self.k
+        );
+        let h = self.k / 2;
+        let pods_per_shard = self.k / workers;
+        let nodes = h * h + self.k * (2 * h + h * h);
+        let mut assignment = vec![0u32; nodes];
+        for (c, &core) in self.cores.iter().enumerate() {
+            assignment[core.0 as usize] = (c % workers) as u32;
+        }
+        for (i, &sw) in self.edges.iter().enumerate() {
+            assignment[sw.0 as usize] = ((i / h) / pods_per_shard) as u32;
+        }
+        for (i, &sw) in self.aggs.iter().enumerate() {
+            assignment[sw.0 as usize] = ((i / h) / pods_per_shard) as u32;
+        }
+        for (i, &host) in self.hosts.iter().enumerate() {
+            assignment[host.0 as usize] = ((i / (h * h)) / pods_per_shard) as u32;
+        }
+        xmp_netsim::PartitionPlan::new(assignment)
     }
 
     /// All links with their layer, for utilization reports.
@@ -454,6 +505,53 @@ mod tests {
         assert_eq!(ft.core_links.len(), 16 * 8);
         assert_eq!(sim.node_count(), 128 + 80);
         assert_eq!(ft.tag_count(), 16);
+    }
+
+    #[test]
+    fn tag_space_caps_at_the_address_octet() {
+        // Full (k/2)² diversity while every alias fits the fourth octet…
+        assert_eq!(FatTree::tag_count_for(4), 4);
+        assert_eq!(FatTree::tag_count_for(8), 16);
+        assert_eq!(FatTree::tag_count_for(12), 36);
+        // …then capped to what the octet can encode.
+        assert_eq!(FatTree::tag_count_for(16), 31);
+        assert_eq!(FatTree::tag_count_for(32), 15);
+
+        // A k = 16 tree builds, and the highest tag's alias still routes:
+        // the last octet of every bound alias stays within u8.
+        let (sim, ft) = build(16);
+        assert_eq!(ft.hosts.len(), 1024);
+        assert_eq!(ft.tag_count(), 31);
+        let t = ft.tag_count() - 1;
+        let a = ft.host_addr(0, t);
+        assert_eq!(sim.lookup_addr(a), Some(ft.host(0)));
+    }
+
+    #[test]
+    fn partition_plan_keeps_pods_whole() {
+        let (sim, ft) = build(8);
+        for workers in [1, 2, 4, 8] {
+            let plan = ft.partition_plan(workers);
+            assert_eq!(plan.workers(), workers);
+            assert_eq!(plan.assignment().len(), sim.node_count());
+            let pods_per_shard = 8 / workers;
+            for (i, &host) in ft.hosts.iter().enumerate() {
+                let (p, e, _) = ft.locate(i);
+                let shard = (p / pods_per_shard) as u32;
+                assert_eq!(plan.owner(host), shard);
+                assert_eq!(plan.owner(ft.edges[p * 4 + e]), shard);
+            }
+            for (c, &core) in ft.cores.iter().enumerate() {
+                assert_eq!(plan.owner(core), (c % workers) as u32);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide k")]
+    fn partition_plan_rejects_non_divisor() {
+        let (_, ft) = build(8);
+        let _ = ft.partition_plan(3);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::scheme::Scheme;
 use std::collections::{BTreeMap, HashMap};
 use xmp_core::CcKind;
 use xmp_des::{SimDuration, SimTime};
-use xmp_netsim::{Agent, NodeId, Sim};
+use xmp_netsim::{Agent, Ctx, NodeId, PartitionedSim, Sim};
 use xmp_topo::FlowCategory;
 use xmp_transport::{CcSnapshot, CongestionControl, ConnKey, HostStack, Segment, SubflowSpec};
 
@@ -17,6 +17,83 @@ use xmp_transport::{CcSnapshot, CongestionControl, ConnKey, HostStack, Segment, 
 /// historical boxed path); the driver's downcasts work identically in both
 /// because boxed agents delegate `as_any_mut` to the inner stack.
 pub type Host = HostStack<CcKind>;
+
+/// A simulation the driver can run flows on: the serial [`Sim`] or a
+/// [`PartitionedSim`] sharded across worker threads. Every [`Driver`]
+/// method is generic over this handle, so the same experiment code drives
+/// either backend — the `workers` knob in the experiments crate is just a
+/// choice of `FlowSim` implementation.
+///
+/// Completion callbacks on a partitioned sim fire at window boundaries in
+/// serial event order (see the partitioning module docs): harvest-only
+/// workloads observe bit-identical records; callbacks that *chain new
+/// flows* see them start at the window end rather than mid-window.
+pub trait FlowSim {
+    /// Current driver-visible time.
+    fn now(&self) -> SimTime;
+    /// Advance the clock without processing events (panics if events at or
+    /// before `t` are pending).
+    fn advance_to(&mut self, t: SimTime);
+    /// Run driver code against the [`Host`] stack on `node`.
+    fn with_host<R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut Host, &mut Ctx<'_, Segment>) -> R,
+    ) -> R;
+    /// Process events up to and including `deadline`, handing agent
+    /// signals to `on_signal`.
+    fn run_signals(
+        &mut self,
+        deadline: SimTime,
+        on_signal: impl FnMut(&mut Self, NodeId, u64),
+    );
+}
+
+impl<A: Agent<Segment>> FlowSim for Sim<Segment, A> {
+    fn now(&self) -> SimTime {
+        Sim::now(self)
+    }
+    fn advance_to(&mut self, t: SimTime) {
+        Sim::advance_to(self, t);
+    }
+    fn with_host<R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut Host, &mut Ctx<'_, Segment>) -> R,
+    ) -> R {
+        self.with_agent::<Host, _>(node, f)
+    }
+    fn run_signals(
+        &mut self,
+        deadline: SimTime,
+        on_signal: impl FnMut(&mut Self, NodeId, u64),
+    ) {
+        self.run_until(deadline, on_signal);
+    }
+}
+
+impl<A: Agent<Segment> + Send> FlowSim for PartitionedSim<Segment, A> {
+    fn now(&self) -> SimTime {
+        PartitionedSim::now(self)
+    }
+    fn advance_to(&mut self, t: SimTime) {
+        PartitionedSim::advance_to(self, t);
+    }
+    fn with_host<R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut Host, &mut Ctx<'_, Segment>) -> R,
+    ) -> R {
+        self.with_agent::<Host, _>(node, f)
+    }
+    fn run_signals(
+        &mut self,
+        deadline: SimTime,
+        on_signal: impl FnMut(&mut Self, NodeId, u64),
+    ) {
+        self.run_until(deadline, on_signal);
+    }
+}
 
 /// Record of one flow's life.
 #[derive(Debug, Clone)]
@@ -167,12 +244,13 @@ impl Driver {
 
     /// Run the simulation until `until`, starting queued flows on time and
     /// invoking `on_complete(sim, driver, conn)` as flows finish (the
-    /// callback may submit more flows or stop unbounded ones).
-    pub fn run<A: Agent<Segment>>(
+    /// callback may submit more flows or stop unbounded ones). Works over
+    /// any [`FlowSim`]: pass a serial [`Sim`] or a [`PartitionedSim`].
+    pub fn run<S: FlowSim>(
         &mut self,
-        sim: &mut Sim<Segment, A>,
+        sim: &mut S,
         until: SimTime,
-        mut on_complete: impl FnMut(&mut Sim<Segment, A>, &mut Driver, ConnKey),
+        mut on_complete: impl FnMut(&mut S, &mut Driver, ConnKey),
     ) {
         loop {
             self.start_due(sim);
@@ -181,7 +259,7 @@ impl Driver {
                 Some(t) if t <= until => t,
                 _ => until,
             };
-            sim.run_until(stop, |sim2, node, conn| {
+            sim.run_signals(stop, |sim2, node, conn| {
                 // The stack signals the connection key on completion; the
                 // callback may chain follow-up flows starting *now*.
                 Self::harvest(&mut self.records, &mut self.completed, sim2, node, conn);
@@ -201,7 +279,7 @@ impl Driver {
     }
 
     /// Start every pending flow whose start time has been reached.
-    fn start_due<A: Agent<Segment>>(&mut self, sim: &mut Sim<Segment, A>) {
+    fn start_due<S: FlowSim>(&mut self, sim: &mut S) {
         while self
             .pending
             .last()
@@ -212,11 +290,11 @@ impl Driver {
         }
     }
 
-    fn start_now<A: Agent<Segment>>(&mut self, sim: &mut Sim<Segment, A>, due: PendingFlow) {
+    fn start_now<S: FlowSim>(&mut self, sim: &mut S, due: PendingFlow) {
         let PendingFlow { spec, conn } = due;
         let cc = spec.scheme.make_cc();
         let cc = if self.boxed_cc { cc.boxed() } else { cc };
-        sim.with_agent::<Host, _>(spec.src_node, |stack, ctx| {
+        sim.with_host(spec.src_node, |stack, ctx| {
             stack.open(ctx, conn, spec.subflows, spec.size, cc);
         });
         if let Some(rec) = self.records.get_mut(&conn) {
@@ -224,10 +302,10 @@ impl Driver {
         }
     }
 
-    fn harvest<A: Agent<Segment>>(
+    fn harvest<S: FlowSim>(
         records: &mut BTreeMap<ConnKey, FlowRecord>,
         completed: &mut u64,
-        sim: &mut Sim<Segment, A>,
+        sim: &mut S,
         node: NodeId,
         conn: ConnKey,
     ) {
@@ -238,7 +316,7 @@ impl Driver {
             return;
         }
         let now = sim.now();
-        sim.with_agent::<Host, _>(node, |stack, _| {
+        sim.with_host(node, |stack, _| {
             if let Some(stats) = stack.conn_stats(conn) {
                 rec.completed = stats.completed;
                 rec.goodput_bps = stats.goodput_bps(now);
@@ -252,9 +330,9 @@ impl Driver {
 
     /// Join an extra subflow on a running flow (the paper's Fig. 6
     /// staggers subflow establishment).
-    pub fn add_subflow<A: Agent<Segment>>(
+    pub fn add_subflow<S: FlowSim>(
         &mut self,
-        sim: &mut Sim<Segment, A>,
+        sim: &mut S,
         conn: ConnKey,
         spec: SubflowSpec,
     ) {
@@ -263,20 +341,20 @@ impl Driver {
         };
         rec.subflows += 1;
         let node = rec.src_node;
-        sim.with_agent::<Host, _>(node, |stack, ctx| {
+        sim.with_host(node, |stack, ctx| {
             stack.add_subflow(ctx, conn, spec);
         });
     }
 
     /// Stop an unbounded flow and finalize its record with the stats so
     /// far (used for background flows and for time-limited runs).
-    pub fn stop_flow<A: Agent<Segment>>(&mut self, sim: &mut Sim<Segment, A>, conn: ConnKey) {
+    pub fn stop_flow<S: FlowSim>(&mut self, sim: &mut S, conn: ConnKey) {
         let Some(rec) = self.records.get_mut(&conn) else {
             return;
         };
         let node = rec.src_node;
         let now = sim.now();
-        sim.with_agent::<Host, _>(node, |stack, ctx| {
+        sim.with_host(node, |stack, ctx| {
             if let Some(stats) = stack.conn_stats(conn) {
                 rec.goodput_bps = stats.goodput_bps(now);
                 rec.mean_rtt_ns = stats.mean_rtt().map_or(0, |d| d.as_nanos());
@@ -289,7 +367,7 @@ impl Driver {
 
     /// Finalize records of still-running flows without closing them
     /// (end-of-run accounting).
-    pub fn finalize_running<A: Agent<Segment>>(&mut self, sim: &mut Sim<Segment, A>) {
+    pub fn finalize_running<S: FlowSim>(&mut self, sim: &mut S) {
         let now = sim.now();
         for rec in self.records.values_mut() {
             if rec.completed.is_some() {
@@ -297,7 +375,7 @@ impl Driver {
             }
             let node = rec.src_node;
             let conn = rec.conn;
-            sim.with_agent::<Host, _>(node, |stack, _| {
+            sim.with_host(node, |stack, _| {
                 if let Some(stats) = stack.conn_stats(conn) {
                     rec.goodput_bps = stats.goodput_bps(now);
                     rec.mean_rtt_ns = stats.mean_rtt().map_or(0, |d| d.as_nanos());
@@ -315,9 +393,9 @@ impl Driver {
     /// perturbing the flow. The returned slice borrows a driver-owned
     /// scratch buffer (reused across calls so sampling loops never
     /// allocate at steady state); it is valid until the next call.
-    pub fn subflow_snapshots<A: Agent<Segment>>(
+    pub fn subflow_snapshots<S: FlowSim>(
         &mut self,
-        sim: &mut Sim<Segment, A>,
+        sim: &mut S,
         conn: ConnKey,
     ) -> &[SubflowSnapshot] {
         self.snap_scratch.clear();
@@ -325,7 +403,7 @@ impl Driver {
             return &self.snap_scratch;
         };
         let scratch = &mut self.snap_scratch;
-        sim.with_agent::<Host, _>(src_node, |stack, _| {
+        sim.with_host(src_node, |stack, _| {
             let Some(sender) = stack.sender(conn) else {
                 return;
             };
@@ -344,16 +422,16 @@ impl Driver {
     }
 
     /// Bytes acknowledged so far on one subflow of a running flow.
-    pub fn subflow_acked<A: Agent<Segment>>(
+    pub fn subflow_acked<S: FlowSim>(
         &self,
-        sim: &mut Sim<Segment, A>,
+        sim: &mut S,
         conn: ConnKey,
         r: usize,
     ) -> u64 {
         let Some(rec) = self.records.get(&conn) else {
             return 0;
         };
-        sim.with_agent::<Host, _>(rec.src_node, |stack, _| {
+        sim.with_host(rec.src_node, |stack, _| {
             stack
                 .sender(conn)
                 .map_or(0, |s| s.subflow_acked(r.min(s.subflow_count() - 1)))
@@ -393,9 +471,9 @@ impl RateSampler {
 
     /// Average rate (bits/s) of `conn`'s subflow `r` since the previous
     /// call for the same key (0 on the first call).
-    pub fn sample<A: Agent<Segment>>(
+    pub fn sample<S: FlowSim>(
         &mut self,
-        sim: &mut Sim<Segment, A>,
+        sim: &mut S,
         driver: &Driver,
         conn: ConnKey,
         r: usize,

@@ -18,7 +18,7 @@ pub mod metrics;
 pub mod patterns;
 pub mod scheme;
 
-pub use driver::{Driver, FlowRecord, FlowSpecBuilder, Host, RateSampler, SubflowSnapshot};
+pub use driver::{Driver, FlowRecord, FlowSim, FlowSpecBuilder, Host, RateSampler, SubflowSnapshot};
 pub use metrics::{jain_index, link_utilization, Cdf};
 pub use patterns::{IncastPattern, PatternConfig, PermutationPattern, RandomPattern};
 pub use scheme::Scheme;

@@ -16,13 +16,13 @@
 //! single-path flows pick one random tag — the per-flow path placement
 //! ECMP would give, under the deterministic two-level lookup.
 
-use crate::driver::{Driver, FlowSpecBuilder};
+use crate::driver::{Driver, FlowSim, FlowSpecBuilder};
 use crate::scheme::Scheme;
 use std::collections::HashMap;
 use xmp_des::{SimRng, SimTime};
-use xmp_netsim::{Agent, PortId, Sim};
+use xmp_netsim::PortId;
 use xmp_topo::FatTree;
-use xmp_transport::{ConnKey, Segment, SubflowSpec};
+use xmp_transport::{ConnKey, SubflowSpec};
 
 /// Shared pattern parameters.
 #[derive(Clone, Debug)]
@@ -128,16 +128,16 @@ impl PermutationPattern {
     }
 
     /// Launch the first wave at the current simulation time.
-    pub fn start<A: Agent<Segment>>(
+    pub fn start<S: FlowSim>(
         &mut self,
-        sim: &mut Sim<Segment, A>,
+        sim: &mut S,
         driver: &mut Driver,
         ft: &FatTree,
     ) {
         self.wave(sim, driver, ft);
     }
 
-    fn wave<A: Agent<Segment>>(&mut self, sim: &mut Sim<Segment, A>, driver: &mut Driver, ft: &FatTree) {
+    fn wave<S: FlowSim>(&mut self, sim: &mut S, driver: &mut Driver, ft: &FatTree) {
         if self.started >= self.cfg.max_flows {
             return;
         }
@@ -169,9 +169,9 @@ impl PermutationPattern {
     }
 
     /// Completion hook: starts the next wave when the current one drains.
-    pub fn on_complete<A: Agent<Segment>>(
+    pub fn on_complete<S: FlowSim>(
         &mut self,
-        sim: &mut Sim<Segment, A>,
+        sim: &mut S,
         driver: &mut Driver,
         ft: &FatTree,
         _conn: ConnKey,
@@ -251,9 +251,9 @@ impl RandomPattern {
     }
 
     /// Start one flow from every host.
-    pub fn start<A: Agent<Segment>>(
+    pub fn start<S: FlowSim>(
         &mut self,
-        sim: &mut Sim<Segment, A>,
+        sim: &mut S,
         driver: &mut Driver,
         ft: &FatTree,
     ) {
@@ -263,9 +263,9 @@ impl RandomPattern {
         }
     }
 
-    fn launch_from<A: Agent<Segment>>(
+    fn launch_from<S: FlowSim>(
         &mut self,
-        sim: &mut Sim<Segment, A>,
+        sim: &mut S,
         driver: &mut Driver,
         ft: &FatTree,
         src: usize,
@@ -293,9 +293,9 @@ impl RandomPattern {
     }
 
     /// Completion hook: the source immediately issues a new flow.
-    pub fn on_complete<A: Agent<Segment>>(
+    pub fn on_complete<S: FlowSim>(
         &mut self,
-        sim: &mut Sim<Segment, A>,
+        sim: &mut S,
         driver: &mut Driver,
         ft: &FatTree,
         conn: ConnKey,
@@ -354,9 +354,9 @@ impl IncastPattern {
     }
 
     /// Start `n_jobs` concurrent jobs plus the background flows.
-    pub fn start<A: Agent<Segment>>(
+    pub fn start<S: FlowSim>(
         &mut self,
-        sim: &mut Sim<Segment, A>,
+        sim: &mut S,
         driver: &mut Driver,
         ft: &FatTree,
         n_jobs: usize,
@@ -372,9 +372,9 @@ impl IncastPattern {
         }
     }
 
-    fn start_job<A: Agent<Segment>>(
+    fn start_job<S: FlowSim>(
         &mut self,
-        sim: &mut Sim<Segment, A>,
+        sim: &mut S,
         driver: &mut Driver,
         ft: &FatTree,
         j: usize,
@@ -396,9 +396,9 @@ impl IncastPattern {
 
     /// Completion hook for every flow in the run (jobs first, then
     /// background).
-    pub fn on_complete<A: Agent<Segment>>(
+    pub fn on_complete<S: FlowSim>(
         &mut self,
-        sim: &mut Sim<Segment, A>,
+        sim: &mut S,
         driver: &mut Driver,
         ft: &FatTree,
         conn: ConnKey,
@@ -469,6 +469,8 @@ mod tests {
     use xmp_netsim::QdiscConfig;
     use xmp_topo::FatTreeConfig;
     use crate::driver::Host;
+    use xmp_netsim::Sim;
+    use xmp_transport::Segment;
     use xmp_transport::{HostStack, StackConfig};
 
     fn small_ft(seed: u64) -> (Sim<Segment, Host>, FatTree) {

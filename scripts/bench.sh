@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Perf snapshot: builds the bench runners in release mode and writes
-# BENCH_pr1.json through BENCH_pr5.json into the repo root.
+# BENCH_pr1.json through BENCH_pr6.json into the repo root.
 #
 #   bench_pr1 — scheduler microbench wheel-vs-heap, scaled-down fig1 and
 #               table1 wall clocks, serial-vs-parallel suite
@@ -13,6 +13,9 @@
 #   bench_pr5 — steady-state allocation rate under a counting global
 #               allocator (asserts 0 allocs/packet-hop), static vs boxed
 #               dispatch on the suite cell
+#   bench_pr6 — partitioned k=16 scale run, 1 vs 4 workers, digest-checked
+#               against serial (asserts bit-identity); re-asserts the
+#               zero-alloc steady state; continues the table1 cell series
 #
 # bench_trend then prints the longitudinal table1_cell_quick medians
 # across every committed BENCH_pr*.json.
@@ -33,4 +36,6 @@ echo "bench.sh: wrote $(pwd)/BENCH_pr3.json"
 echo "bench.sh: wrote $(pwd)/BENCH_pr4.json"
 ./target/release/bench_pr5
 echo "bench.sh: wrote $(pwd)/BENCH_pr5.json"
+./target/release/bench_pr6
+echo "bench.sh: wrote $(pwd)/BENCH_pr6.json"
 ./target/release/bench_trend

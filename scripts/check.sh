@@ -13,6 +13,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 # Smoke: the failover experiment must survive a mid-run link failure
 # (and its packet-conservation audit) end to end.
 cargo run --release --offline -p xmp-experiments -- failover --quick
+# Smoke: the partitioned simulation must stay bit-identical to serial on
+# a k=8 fat-tree wave with faults and probes live (the scale command
+# digest-checks the sharded run against the serial one and exits nonzero
+# on a mismatch).
+cargo run --release --offline -p xmp-experiments -- scale --quick --workers 4
 # Smoke: dynamics must export parseable JSONL traces, and `trace report`
 # (the std-only checker) must round-trip them. results/ stays untracked.
 cargo run --release --offline -p xmp-experiments -- dynamics --quick
